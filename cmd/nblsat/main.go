@@ -1,0 +1,214 @@
+// Command nblsat is the NBL-SAT solver CLI: it reads a DIMACS CNF
+// instance and decides it with any engine in the repository.
+//
+// Usage:
+//
+//	nblsat [flags] [file.cnf]     (stdin when no file is given)
+//
+// Engines: mc (Monte-Carlo NBL, default), exact (infinite-sample NBL),
+// rtw (integer-exact telegraph waves), sbl (sinusoid carriers), analog
+// (compiled block netlist), dpll, cdcl, walksat, hybrid (NBL-guided
+// DPLL).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analog"
+	"repro/internal/cdcl"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/dimacs"
+	"repro/internal/dpll"
+	"repro/internal/hybrid"
+	"repro/internal/noise"
+	"repro/internal/rtw"
+	"repro/internal/sbl"
+	"repro/internal/simplify"
+	"repro/internal/walksat"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "mc", "mc|exact|rtw|sbl|analog|dpll|cdcl|walksat|hybrid")
+		family  = flag.String("family", "unit", "noise family for mc: half|unit|gauss|rtw")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		samples = flag.Int64("samples", 4_000_000, "sample budget per NBL check")
+		workers = flag.Int("workers", 1, "parallel sampling workers (mc)")
+		theta   = flag.Float64("theta", 4, "SAT decision threshold in standard errors")
+		assign  = flag.Bool("assign", false, "recover a satisfying assignment (Algorithm 2)")
+		prep    = flag.Bool("preprocess", false,
+			"simplify before solving (units, pure literals, subsumption); "+
+				"shrinking n·m cuts the NBL sample budget exponentially")
+		sol = flag.Bool("sol", false,
+			"emit the verdict in SAT-competition format (s/v lines) on stdout")
+	)
+	flag.Parse()
+	solMode = *sol
+
+	f, err := readInstance(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	info := os.Stdout
+	if solMode {
+		info = os.Stderr // keep stdout clean for the s/v certificate
+	}
+	fmt.Fprintf(info, "instance: %d variables, %d clauses, %d literals\n",
+		f.NumVars, f.NumClauses(), f.NumLiterals())
+
+	if *prep {
+		r := simplify.Simplify(f, simplify.Options{})
+		fmt.Fprintf(info, "preprocess: %s\n", r.Stats)
+		if r.ProvedUnsat {
+			fmt.Println("preprocess: UNSAT (derived the empty clause)")
+			return
+		}
+		if r.F.NumClauses() == 0 {
+			fmt.Printf("preprocess: SAT with %s (no clauses remain)\n",
+				r.Reconstruct(cnf.NewAssignment(r.F.NumVars)))
+			return
+		}
+		f = r.F
+		fmt.Fprintf(info, "solving reduced instance: %d variables, %d clauses\n",
+			f.NumVars, f.NumClauses())
+		fmt.Fprintln(info, "note: reported assignments refer to the reduced variables")
+	}
+
+	switch *engine {
+	case "mc":
+		runMC(f, *family, *seed, *samples, *workers, *theta, *assign)
+	case "exact":
+		runExact(f, *assign)
+	case "rtw":
+		eng, err := rtw.New(f, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		r := eng.Check(*samples, *theta)
+		fmt.Printf("rtw: sat=%v mean=%.4g stderr=%.3g samples=%d\n",
+			r.Satisfiable, r.Mean, r.StdErr, r.Samples)
+	case "sbl":
+		eng, err := sbl.New(f, sbl.Options{MaxSamples: *samples})
+		if err != nil {
+			fatal(err)
+		}
+		r := eng.Check()
+		fmt.Printf("sbl: sat=%v dc=%.6g samples=%d fullPeriod=%v (period %d, bandwidth F/f0 = %.4g)\n",
+			r.Satisfiable, r.Mean, r.Samples, r.FullPeriod, eng.Period(),
+			sbl.Bandwidth(f.NumVars, f.NumClauses(), sbl.Geometric4))
+	case "analog":
+		eng, err := analog.Compile(f, noise.UniformUnit, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		r := eng.Check(*samples, *theta)
+		fmt.Printf("analog: sat=%v mean=%.4g samples=%d components: %s\n",
+			r.Satisfiable, r.Mean, r.Samples, eng.Blocks)
+	case "dpll":
+		s := dpll.New(f, nil)
+		a, ok := s.Solve()
+		report(f, a, ok)
+		fmt.Fprintf(info, "effort: %+v\n", s.Stats())
+	case "cdcl":
+		s := cdcl.New(f)
+		a, ok := s.Solve()
+		report(f, a, ok)
+		fmt.Fprintf(info, "effort: %+v\n", s.Stats())
+	case "walksat":
+		r := walksat.Solve(f, walksat.Options{Seed: *seed})
+		if r.Found {
+			report(f, r.Assignment, true)
+		} else {
+			fmt.Println("walksat: UNKNOWN (no model found within budget)")
+		}
+	case "hybrid":
+		r := hybrid.SolveExact(f)
+		report(f, r.Assignment, r.Satisfiable)
+		fmt.Fprintf(info, "effort: %+v coprocessor probes: %d\n", r.DPLL, r.Probes)
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+func runMC(f *cnf.Formula, family string, seed uint64, samples int64, workers int, theta float64, assign bool) {
+	fam, ok := map[string]noise.Family{
+		"half": noise.UniformHalf, "unit": noise.UniformUnit,
+		"gauss": noise.Gaussian, "rtw": noise.RTW,
+	}[family]
+	if !ok {
+		fatal(fmt.Errorf("unknown family %q", family))
+	}
+	eng, err := core.NewEngine(f, core.Options{
+		Family: fam, Seed: seed, MaxSamples: samples,
+		Workers: workers, Theta: theta,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if !assign {
+		fmt.Printf("mc (%v): %v\n", fam, eng.Check())
+		return
+	}
+	res, err := eng.Assign()
+	if err != nil {
+		fmt.Printf("mc (%v): %v (%d checks)\n", fam, err, len(res.Checks))
+		os.Exit(1)
+	}
+	fmt.Printf("mc (%v): SAT with %s (%d NBL checks, linear bound n+1 = %d)\n",
+		fam, res.Assignment, len(res.Checks), f.NumVars+1)
+}
+
+func runExact(f *cnf.Formula, assign bool) {
+	if !assign {
+		fmt.Printf("exact: sat=%v\n", core.ExactCheck(f))
+		return
+	}
+	a, ok := core.ExactAssign(f)
+	if !ok {
+		fmt.Println("exact: UNSAT")
+		return
+	}
+	fmt.Printf("exact: SAT with %s\n", a)
+}
+
+// solMode is set from the -sol flag; report and the engine paths honor
+// it by emitting SAT-competition s/v lines instead of prose.
+var solMode bool
+
+func report(f *cnf.Formula, a cnf.Assignment, ok bool) {
+	if solMode {
+		status := "UNSATISFIABLE"
+		if ok {
+			status = "SATISFIABLE"
+		}
+		if err := dimacs.WriteSolution(os.Stdout, status, a); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if !ok {
+		fmt.Println("UNSAT")
+		return
+	}
+	fmt.Printf("SAT with %s (verified: %v)\n", a, a.Satisfies(f))
+}
+
+func readInstance(path string) (*cnf.Formula, error) {
+	if path == "" {
+		return dimacs.Read(os.Stdin)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return dimacs.Read(file)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nblsat:", err)
+	os.Exit(2)
+}

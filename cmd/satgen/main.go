@@ -1,0 +1,66 @@
+// Command satgen generates SAT instances in DIMACS CNF format: the
+// paper's exact examples, uniform random k-SAT, planted-solution
+// instances, pigeonhole formulas, and fixed-model-count instances.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/dimacs"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "random",
+			"random|planted|php|exactlyk|paper-sat|paper-unsat|example5|example6|example7")
+		n     = flag.Int("n", 10, "variables (random/planted/exactlyk)")
+		m     = flag.Int("m", 42, "clauses (random/planted)")
+		k     = flag.Int("k", 3, "literals per clause (random/planted)")
+		holes = flag.Int("holes", 3, "holes for php")
+		kk    = flag.Uint64("models", 1, "model count for exactlyk")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var (
+		f       *cnf.Formula
+		comment string
+	)
+	switch *kind {
+	case "random":
+		f = gen.RandomKSAT(rng.New(*seed), *n, *m, *k)
+		comment = fmt.Sprintf("uniform random %d-SAT n=%d m=%d seed=%d", *k, *n, *m, *seed)
+	case "planted":
+		var planted cnf.Assignment
+		f, planted = gen.PlantedKSAT(rng.New(*seed), *n, *m, *k)
+		comment = fmt.Sprintf("planted %d-SAT n=%d m=%d seed=%d model=%s", *k, *n, *m, *seed, planted)
+	case "php":
+		f = gen.Pigeonhole(*holes)
+		comment = fmt.Sprintf("pigeonhole PHP(%d+1,%d): provably UNSAT", *holes, *holes)
+	case "exactlyk":
+		f = gen.ExactlyK(*n, *kk)
+		comment = fmt.Sprintf("exactly %d models over %d variables", *kk, *n)
+	case "paper-sat":
+		f, comment = gen.PaperSAT(), "paper Section IV S_SAT"
+	case "paper-unsat":
+		f, comment = gen.PaperUNSAT(), "paper Section IV S_UNSAT"
+	case "example5":
+		f, comment = gen.PaperExample5(), "paper Example 5"
+	case "example6":
+		f, comment = gen.PaperExample6(), "paper Example 6"
+	case "example7":
+		f, comment = gen.PaperExample7(), "paper Example 7"
+	default:
+		fmt.Fprintf(os.Stderr, "satgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := dimacs.Write(os.Stdout, f, comment); err != nil {
+		fmt.Fprintln(os.Stderr, "satgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+// Hybrid CPU + NBL coprocessor (paper Section V): DPLL whose branching
+// is guided by NBL-SAT mean estimates. The coprocessor reports the mean
+// of S_N with each candidate binding applied to tau_N; since the mean is
+// proportional to the number of satisfying minterms in the reduced
+// subspace, the search always descends into the richer half and — with
+// an ideal coprocessor — never backtracks on a satisfiable instance.
+//
+// Run: go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dpll"
+	"repro/internal/gen"
+	"repro/internal/hybrid"
+	"repro/internal/noise"
+	"repro/internal/rng"
+)
+
+func main() {
+	g := rng.New(7)
+	const n, m = 12, 51 // near the 3-SAT phase transition m/n ≈ 4.26
+
+	fmt.Printf("random satisfiable 3-SAT, n=%d m=%d, 5 instances\n\n", n, m)
+	fmt.Printf("%-10s %12s %12s %12s %12s %8s\n",
+		"instance", "plain-dec", "plain-bt", "hybrid-dec", "hybrid-bt", "probes")
+
+	for i := 0; i < 5; i++ {
+		f, _ := gen.PlantedKSAT(g, n, m, 3)
+
+		plain := dpll.New(f, nil)
+		if _, ok := plain.Solve(); !ok {
+			panic("planted instance must be satisfiable")
+		}
+
+		// The idealized (infinite-sample) coprocessor.
+		hres := hybrid.SolveExact(f)
+		if !hres.Satisfiable || !hres.Assignment.Satisfies(f) {
+			panic("hybrid solver failed")
+		}
+		fmt.Printf("#%-9d %12d %12d %12d %12d %8d\n", i,
+			plain.Stats().Decisions, plain.Stats().Backtracks,
+			hres.DPLL.Decisions, hres.DPLL.Backtracks, hres.Probes)
+	}
+
+	// The simulated coprocessor on a tiny instance: same architecture,
+	// finite sample budget per probe.
+	fmt.Println("\nMonte-Carlo coprocessor on Example 6 (finite-sample probes):")
+	f := gen.PaperExample6()
+	r, err := hybrid.SolveMC(f, core.Options{
+		Family: noise.UniformUnit, Seed: 5,
+		MaxSamples: 300_000, MinSamples: 50_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  sat=%v assignment=%s probes=%d decisions=%d backtracks=%d\n",
+		r.Satisfiable, r.Assignment, r.Probes, r.DPLL.Decisions, r.DPLL.Backtracks)
+}

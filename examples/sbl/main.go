@@ -1,0 +1,52 @@
+// Sinusoid-Based Logic (paper Section V): NBL-SAT with deterministic
+// sinusoidal carriers instead of noise. With a collision-free frequency
+// plan the DC read-out over one full common period equals the weighted
+// model count K' exactly — a fully deterministic SAT decision — but the
+// oscillator bandwidth F/f0 grows exponentially. The paper left the
+// spacing-versus-filter-complexity tradeoff "an open exercise"; this
+// example makes it concrete.
+//
+// Run: go run ./examples/sbl
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/noise"
+	"repro/internal/sbl"
+)
+
+func main() {
+	for _, tc := range []struct {
+		name string
+		f    *cnf.Formula
+		sat  bool
+	}{
+		{"Example 6 (SAT, K'=2)", gen.PaperExample6(), true},
+		{"Example 7 (UNSAT)", gen.PaperExample7(), false},
+	} {
+		kp := core.ExactMean(tc.f, cnf.NewAssignment(tc.f.NumVars), noise.UniformUnit)
+		fmt.Printf("%s  %s\n", tc.name, tc.f)
+		for _, alloc := range []sbl.Allocation{sbl.Geometric4, sbl.Linear} {
+			eng, err := sbl.New(tc.f, sbl.Options{Alloc: alloc, MaxSamples: 1 << 20})
+			if err != nil {
+				panic(err)
+			}
+			r := eng.Check()
+			fmt.Printf("  %-11s bandwidth F/f0 = %-12.4g period = %-8d DC = %-12.6g"+
+				" (exact K' = %g) full-period=%v sat=%v\n",
+				alloc, sbl.Bandwidth(tc.f.NumVars, tc.f.NumClauses(), alloc),
+				eng.Period(), r.Mean, kp, r.FullPeriod, r.Satisfiable)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Takeaway: the geometric plan reads K' exactly (deterministic SAT")
+	fmt.Println("decision, as the paper emphasizes NBL is deterministic), but its")
+	fmt.Println("bandwidth is 4^(2nm-1) times the spacing; the linear plan fits in")
+	fmt.Println("2nm bandwidth — the paper's F/f budget — yet its combination-")
+	fmt.Println("frequency collisions corrupt the DC read-out.")
+}

@@ -1,0 +1,58 @@
+// The single-wire hyperspace (paper Section I, reference [15]): from 2n
+// orthogonal basis noise sources one builds 2^n product "noise
+// minterms", and the additive superposition of any subset travels on a
+// single wire — 2^(2^n) distinguishable wire states. Membership of a
+// minterm in the transmitted superposition is read back by correlation.
+//
+// This is the primitive NBL-SAT rests on: tau_N is the superposition of
+// all valid minterms, Sigma_N of the satisfying ones, and Algorithm 1
+// is one correlation between them.
+//
+// Run: go run ./examples/superposition
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/noise"
+	"repro/internal/wire"
+)
+
+func main() {
+	const n = 3
+	w, err := wire.New(n, noise.RTW, 2024)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("wire over n=%d variables: hyperspace of %d noise minterms, %s wire states\n\n",
+		n, w.HyperspaceSize(), w.StateCount())
+
+	// Transmit the superposition {x̄1x̄2x̄3, x1x̄2x3, x1x2x̄3} on one wire.
+	set := []uint64{0b000, 0b101, 0b011}
+	fmt.Println("transmitting superposition of minterms: 000, 101, 011")
+	fmt.Println("querying every minterm by correlation:")
+	fmt.Printf("%-8s %-9s %-12s %s\n", "minterm", "present", "correlation", "z-score")
+	for q := uint64(0); q < w.HyperspaceSize(); q++ {
+		m, err := w.Contains(set, q, 50_000, 4)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%03b      %-9v %-12.3f %.1f\n", q, m.Present, m.Correlation, m.ZScore)
+	}
+
+	// Decode recovers the full set.
+	decoded, err := w.Decode(set, 50_000, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print("\ndecoded wire state: { ")
+	for q, in := range decoded {
+		if in {
+			fmt.Printf("%03b ", q)
+		}
+	}
+	fmt.Println("}")
+	fmt.Println("\nNBL-SAT is this primitive at scale: Algorithm 1 correlates the")
+	fmt.Println("superposition of ALL minterms (tau_N) against the superposition of")
+	fmt.Println("satisfying ones (Sigma_N) in a single operation.")
+}

@@ -1,0 +1,217 @@
+// Package analog is a discrete-time block-diagram simulator for the
+// hardware NBL-SAT engine sketched in Section V of the paper: "a
+// plurality of adders (implementing configurable clauses), multipliers
+// (implementing the conjunction operation among the clauses), and noise
+// sources ... [and] an on-chip correlator block".
+//
+// Blocks are evaluated once per timestep in netlist order (a block's
+// inputs must be created before it, so insertion order is a topological
+// order). Sources have no inputs; filters and correlators carry state
+// across steps. The compiler in compile.go lowers a CNF instance to a
+// netlist of these blocks, which is experiment E8's end-to-end check
+// that the paper's proposed architecture computes the same decision
+// statistic as the mathematical engine.
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// Block is one circuit element. Step receives the current values of its
+// input nets and returns its output value for this timestep.
+type Block interface {
+	Step(in []float64) float64
+}
+
+// Net identifies a block output within a netlist.
+type Net int
+
+// Netlist is a wired collection of blocks.
+type Netlist struct {
+	blocks []Block
+	inputs [][]Net
+	values []float64
+	step   int64
+}
+
+// NewNetlist returns an empty netlist.
+func NewNetlist() *Netlist { return &Netlist{} }
+
+// Add inserts a block whose inputs are the given nets and returns the
+// block's output net. Inputs must already exist.
+func (n *Netlist) Add(b Block, inputs ...Net) Net {
+	for _, in := range inputs {
+		if int(in) < 0 || int(in) >= len(n.blocks) {
+			panic(fmt.Sprintf("analog: input net %d does not exist", in))
+		}
+	}
+	n.blocks = append(n.blocks, b)
+	n.inputs = append(n.inputs, inputs)
+	n.values = append(n.values, 0)
+	return Net(len(n.blocks) - 1)
+}
+
+// Size returns the number of blocks.
+func (n *Netlist) Size() int { return len(n.blocks) }
+
+// Value returns the current output value of a net.
+func (n *Netlist) Value(net Net) float64 { return n.values[net] }
+
+// Steps returns the number of timesteps simulated so far.
+func (n *Netlist) Steps() int64 { return n.step }
+
+// Step advances the simulation one timestep.
+func (n *Netlist) Step() {
+	scratch := make([]float64, 0, 8)
+	for i, b := range n.blocks {
+		scratch = scratch[:0]
+		for _, in := range n.inputs[i] {
+			scratch = append(scratch, n.values[in])
+		}
+		n.values[i] = b.Step(scratch)
+	}
+	n.step++
+}
+
+// Run advances the simulation by steps timesteps.
+func (n *Netlist) Run(steps int64) {
+	for i := int64(0); i < steps; i++ {
+		n.Step()
+	}
+}
+
+// NoiseBlock emits samples from a noise source.
+type NoiseBlock struct{ Src noise.Source }
+
+// Step implements Block.
+func (b *NoiseBlock) Step([]float64) float64 { return b.Src.Next() }
+
+// SineBlock emits a unit-RMS sinusoid (an on-chip oscillator).
+type SineBlock struct {
+	Osc *noise.Sinusoid
+}
+
+// Step implements Block.
+func (b *SineBlock) Step([]float64) float64 { return b.Osc.Next() }
+
+// ConstBlock emits a constant.
+type ConstBlock struct{ V float64 }
+
+// Step implements Block.
+func (b *ConstBlock) Step([]float64) float64 { return b.V }
+
+// Adder sums its inputs (an ideal analog summing junction).
+type Adder struct{}
+
+// Step implements Block.
+func (Adder) Step(in []float64) float64 {
+	s := 0.0
+	for _, x := range in {
+		s += x
+	}
+	return s
+}
+
+// Multiplier multiplies its inputs (an ideal analog mixer).
+type Multiplier struct{}
+
+// Step implements Block.
+func (Multiplier) Step(in []float64) float64 {
+	p := 1.0
+	for _, x := range in {
+		p *= x
+	}
+	return p
+}
+
+// Gain scales its single input by K (a wideband amplifier).
+type Gain struct{ K float64 }
+
+// Step implements Block.
+func (g Gain) Step(in []float64) float64 { return g.K * in[0] }
+
+// LowPass is a first-order IIR low-pass filter
+// y[t] = y[t-1] + alpha·(x[t] - y[t-1]) with alpha in (0, 1].
+type LowPass struct {
+	Alpha float64
+	y     float64
+}
+
+// NewLowPass returns a first-order low-pass with the given smoothing
+// factor. Smaller alpha means a lower cutoff.
+func NewLowPass(alpha float64) *LowPass {
+	if alpha <= 0 || alpha > 1 {
+		panic("analog: LowPass alpha must be in (0,1]")
+	}
+	return &LowPass{Alpha: alpha}
+}
+
+// Step implements Block.
+func (f *LowPass) Step(in []float64) float64 {
+	f.y += f.Alpha * (in[0] - f.y)
+	return f.y
+}
+
+// CascadedLowPass chains k identical first-order sections, giving a
+// steeper (k-pole) roll-off — the "low-pass filters of high order"
+// Section V says a small frequency spacing would require.
+type CascadedLowPass struct {
+	sections []*LowPass
+}
+
+// NewCascadedLowPass builds a k-section cascade with per-section alpha.
+func NewCascadedLowPass(k int, alpha float64) *CascadedLowPass {
+	if k < 1 {
+		panic("analog: cascade needs at least one section")
+	}
+	c := &CascadedLowPass{}
+	for i := 0; i < k; i++ {
+		c.sections = append(c.sections, NewLowPass(alpha))
+	}
+	return c
+}
+
+// Step implements Block.
+func (c *CascadedLowPass) Step(in []float64) float64 {
+	x := in[0]
+	buf := [1]float64{}
+	for _, s := range c.sections {
+		buf[0] = x
+		x = s.Step(buf[:])
+	}
+	return x
+}
+
+// Correlator accumulates the running mean and variance of its input —
+// the paper's on-chip correlator that reads out the DC component of S_N.
+type Correlator struct {
+	w stats.Welford
+}
+
+// Step implements Block; the output is the running mean.
+func (c *Correlator) Step(in []float64) float64 {
+	c.w.Add(in[0])
+	return c.w.Mean()
+}
+
+// Mean returns the accumulated mean.
+func (c *Correlator) Mean() float64 { return c.w.Mean() }
+
+// StdErr returns the standard error of the mean.
+func (c *Correlator) StdErr() float64 { return c.w.StdErr() }
+
+// Count returns the number of accumulated samples.
+func (c *Correlator) Count() int64 { return c.w.Count() }
+
+// ZScore returns Mean/StdErr (0 when undefined).
+func (c *Correlator) ZScore() float64 {
+	se := c.w.StdErr()
+	if se == 0 || math.IsInf(se, 0) {
+		return 0
+	}
+	return c.w.Mean() / se
+}

@@ -1,0 +1,50 @@
+package analog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestCompileSBLExactDCOnExample7(t *testing.T) {
+	// (x1)(!x1): 2nm = 4 sources, period 2·4^4 = 512. Over one full
+	// period the correlator mean is exactly 0 (UNSAT).
+	eng, period, err := CompileSBL(gen.PaperExample7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period != 512 {
+		t.Fatalf("period = %d, want 512", period)
+	}
+	eng.Net.Run(period)
+	if mean := eng.Corr.Mean(); math.Abs(mean) > 1e-6 {
+		t.Errorf("full-period DC = %v, want ~0", mean)
+	}
+}
+
+func TestCompileSBLExactDCOnTinySAT(t *testing.T) {
+	// (x1) over one variable: 2nm = 2, period 2·4^2 = 32. K' = 1, so the
+	// full-period DC reads exactly 1.
+	f := gen.PaperExample7().Clone()
+	f.Clauses = f.Clauses[:1] // keep only (x1)
+	eng, period, err := CompileSBL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Net.Run(period)
+	if mean := eng.Corr.Mean(); math.Abs(mean-1) > 1e-9 {
+		t.Errorf("full-period DC = %v, want exactly 1", mean)
+	}
+}
+
+func TestCompileSBLRejectsOversized(t *testing.T) {
+	// Example 6 has 2nm = 8 <= 12: accepted. The Figure 1 instances have
+	// 2nm = 16: rejected.
+	if _, _, err := CompileSBL(gen.PaperExample6()); err != nil {
+		t.Errorf("Example 6 should compile: %v", err)
+	}
+	if _, _, err := CompileSBL(gen.PaperSAT()); err == nil {
+		t.Error("oversized SBL compile accepted")
+	}
+}

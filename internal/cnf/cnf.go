@@ -1,0 +1,271 @@
+// Package cnf provides the Boolean-formula substrate shared by every
+// solver in this repository: literals, clauses, CNF formulas, partial and
+// total assignments, evaluation, and structural simplification.
+//
+// It follows Definitions 1-6 of the paper: a literal is a variable or its
+// negation, a clause is a disjunction of literals, a CNF formula is a
+// conjunction of clauses, and a formula is satisfied when every clause
+// contains at least one true literal.
+//
+// Literals use the MiniSat packed encoding: variable v (1-based) maps to
+// 2v for the positive literal and 2v+1 for the negative one, so a literal
+// fits in an int32, negation is a single XOR, and literals index arrays
+// densely. DIMACS signed integers are converted at the boundary.
+package cnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a Boolean variable. Variables are numbered 1..NumVars;
+// 0 is reserved as "no variable".
+type Var int32
+
+// Lit is a literal: a variable or its negation, in packed encoding.
+type Lit int32
+
+// NewLit returns the literal for v, negated if neg is true.
+func NewLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Pos returns the positive literal of v.
+func Pos(v Var) Lit { return Lit(v << 1) }
+
+// Neg returns the negative literal of v.
+func Neg(v Var) Lit { return Lit(v<<1) | 1 }
+
+// FromDIMACS converts a DIMACS signed integer (+v / -v) to a Lit.
+// It panics on 0, which DIMACS reserves as the clause terminator.
+func FromDIMACS(x int) Lit {
+	switch {
+	case x > 0:
+		return Pos(Var(x))
+	case x < 0:
+		return Neg(Var(-x))
+	default:
+		panic("cnf: literal 0 is not representable")
+	}
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// IsNeg reports whether the literal is negated.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Negate returns the complementary literal.
+func (l Lit) Negate() Lit { return l ^ 1 }
+
+// DIMACS returns the literal as a DIMACS signed integer.
+func (l Lit) DIMACS() int {
+	if l.IsNeg() {
+		return -int(l >> 1)
+	}
+	return int(l >> 1)
+}
+
+// String renders the literal as x3 or !x3.
+func (l Lit) String() string {
+	if l.IsNeg() {
+		return fmt.Sprintf("!x%d", l.Var())
+	}
+	return fmt.Sprintf("x%d", l.Var())
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// NewClause builds a clause from DIMACS-style signed integers.
+func NewClause(lits ...int) Clause {
+	c := make(Clause, len(lits))
+	for i, x := range lits {
+		c[i] = FromDIMACS(x)
+	}
+	return c
+}
+
+// Contains reports whether the clause contains the literal l.
+func (c Clause) Contains(l Lit) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTautology reports whether the clause contains a literal and its
+// negation, making it true under every assignment.
+func (c Clause) IsTautology() bool {
+	seen := make(map[Lit]bool, len(c))
+	for _, l := range c {
+		if seen[l.Negate()] {
+			return true
+		}
+		seen[l] = true
+	}
+	return false
+}
+
+// Dedup returns a copy of the clause with duplicate literals removed,
+// preserving first-occurrence order.
+func (c Clause) Dedup() Clause {
+	seen := make(map[Lit]bool, len(c))
+	out := make(Clause, 0, len(c))
+	for _, l := range c {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the clause.
+func (c Clause) Clone() Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	return out
+}
+
+// String renders the clause as (x1 + !x2 + x3), the paper's notation.
+func (c Clause) String() string {
+	if len(c) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// New returns an empty formula over n variables.
+func New(n int) *Formula {
+	return &Formula{NumVars: n}
+}
+
+// FromClauses builds a formula from DIMACS-style integer clauses,
+// inferring NumVars from the largest variable mentioned.
+func FromClauses(clauses ...[]int) *Formula {
+	f := &Formula{}
+	for _, ints := range clauses {
+		c := NewClause(ints...)
+		f.AddClause(c)
+	}
+	return f
+}
+
+// AddClause appends a clause, growing NumVars if the clause mentions a
+// larger variable.
+func (f *Formula) AddClause(c Clause) {
+	for _, l := range c {
+		if int(l.Var()) > f.NumVars {
+			f.NumVars = int(l.Var())
+		}
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// Add appends a clause given as DIMACS-style signed integers.
+func (f *Formula) Add(lits ...int) {
+	f.AddClause(NewClause(lits...))
+}
+
+// NumClauses returns the number of clauses (the paper's m).
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// NumLiterals returns the total number of literal occurrences.
+func (f *Formula) NumLiterals() int {
+	n := 0
+	for _, c := range f.Clauses {
+		n += len(c)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the formula.
+func (f *Formula) Clone() *Formula {
+	g := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		g.Clauses[i] = c.Clone()
+	}
+	return g
+}
+
+// Validate checks structural invariants: no empty formula fields are
+// required, but every literal must reference a variable in 1..NumVars.
+func (f *Formula) Validate() error {
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			v := l.Var()
+			if v < 1 || int(v) > f.NumVars {
+				return fmt.Errorf("cnf: clause %d literal %s references variable outside 1..%d",
+					i, l, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Simplify returns a copy with tautological clauses dropped and duplicate
+// literals removed from each remaining clause. The satisfying set is
+// unchanged. The bool reports whether an empty clause is present, which
+// makes the formula trivially unsatisfiable.
+func (f *Formula) Simplify() (*Formula, bool) {
+	g := &Formula{NumVars: f.NumVars}
+	hasEmpty := false
+	for _, c := range f.Clauses {
+		if c.IsTautology() {
+			continue
+		}
+		d := c.Dedup()
+		if len(d) == 0 {
+			hasEmpty = true
+		}
+		g.Clauses = append(g.Clauses, d)
+	}
+	return g, hasEmpty
+}
+
+// String renders the formula in the paper's product-of-sums notation.
+func (f *Formula) String() string {
+	if len(f.Clauses) == 0 {
+		return "(true)"
+	}
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " · ")
+}
+
+// Vars returns the sorted list of variables that actually occur.
+func (f *Formula) Vars() []Var {
+	seen := make(map[Var]bool)
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			seen[l.Var()] = true
+		}
+	}
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

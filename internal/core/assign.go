@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// ErrUnsat is returned by Assign and Cube when the initial check deems
+// the instance unsatisfiable.
+var ErrUnsat = errors.New("core: instance is unsatisfiable")
+
+// ErrInconsistent is returned when the Monte-Carlo checks of Algorithm 2
+// contradict each other (both polarities of some variable test
+// unsatisfiable). It indicates an insufficient sample budget for the
+// instance's SNR, not a logic error; raising MaxSamples or Theta
+// resolves it.
+var ErrInconsistent = errors.New("core: inconsistent reduced checks (raise sample budget)")
+
+// AssignResult reports the outcome of Algorithm 2.
+type AssignResult struct {
+	// Assignment is the recovered satisfying assignment.
+	Assignment cnf.Assignment
+	// Checks holds the per-iteration check results: Checks[0] is the
+	// initial Algorithm-1 check, followed by one (Assign) or up to two
+	// (Cube) reduced checks per variable.
+	Checks []Result
+	// Verified reports whether Assignment was confirmed against the
+	// formula by direct evaluation.
+	Verified bool
+}
+
+// Assign implements Algorithm 2: it first runs the Algorithm-1 check,
+// then recovers a satisfying assignment with n reduced checks, binding
+// each variable in turn. The total number of NBL-SAT check operations is
+// n+1, matching the paper's linear bound.
+//
+// Each reduced check asks "does a solution exist in the x_i subspace?"
+// by binding x_i to 1 in tau_N. If the reduced check is satisfiable the
+// binding is kept; otherwise x_i must be 0 (the instance being known
+// satisfiable, per the paper's argument in Section III-E).
+func (e *Engine) Assign() (AssignResult, error) {
+	var out AssignResult
+	first := e.Check()
+	out.Checks = append(out.Checks, first)
+	if !first.Satisfiable {
+		return out, ErrUnsat
+	}
+
+	bound := cnf.NewAssignment(e.f.NumVars)
+	for v := 1; v <= e.f.NumVars; v++ {
+		bound.Set(cnf.Var(v), cnf.True)
+		r := e.CheckBound(bound)
+		out.Checks = append(out.Checks, r)
+		if !r.Satisfiable {
+			bound.Set(cnf.Var(v), cnf.False)
+		}
+	}
+	out.Assignment = bound
+	out.Verified = bound.Satisfies(e.f)
+	if !out.Verified {
+		return out, fmt.Errorf("%w: recovered assignment %s does not satisfy the formula",
+			ErrInconsistent, bound)
+	}
+	return out, nil
+}
+
+// Cube implements the satisfying-cube variant sketched at the end of
+// Section III-E. The paper proposes testing each variable under both
+// polarities and omitting it from the result when both reduced checks
+// are satisfiable. Taken literally that rule is unsound — on
+// (x1+x2)·(!x1+!x2) both polarities of both variables test satisfiable,
+// yet the empty cube does not satisfy the formula. We therefore use the
+// paper's two-checks-per-variable rule as the don't-care *candidate*
+// filter, starting from the minterm recovered by Algorithm 2, and only
+// actually drop a candidate when three-valued evaluation confirms every
+// clause remains covered by the shrunken cube. The check count stays
+// linear: n+1 for Assign plus at most 2n candidate checks.
+func (e *Engine) Cube() (AssignResult, error) {
+	out, err := e.Assign()
+	if err != nil {
+		return out, err
+	}
+	cube := out.Assignment
+
+	probe := cnf.NewAssignment(e.f.NumVars)
+	for v := 1; v <= e.f.NumVars; v++ {
+		// Paper's candidate test: both polarities of x_v satisfiable in
+		// the hyperspace reduced by the *other* variables' current cube
+		// values.
+		copyExcept(probe, cube, cnf.Var(v))
+		probe.Set(cnf.Var(v), cnf.True)
+		rT := e.CheckBound(probe)
+		probe.Set(cnf.Var(v), cnf.False)
+		rF := e.CheckBound(probe)
+		out.Checks = append(out.Checks, rT, rF)
+		if !rT.Satisfiable || !rF.Satisfiable {
+			continue // x_v matters; keep its binding
+		}
+		// Soundness guard: drop x_v only if the cube still covers every
+		// clause on its own.
+		saved := cube.Get(cnf.Var(v))
+		cube.Set(cnf.Var(v), cnf.Unassigned)
+		if cube.Eval(e.f) != cnf.True {
+			cube.Set(cnf.Var(v), saved)
+		}
+	}
+	out.Assignment = cube
+	out.Verified = cube.Eval(e.f) == cnf.True
+	if !out.Verified {
+		return out, fmt.Errorf("%w: recovered cube %s does not satisfy the formula",
+			ErrInconsistent, cube)
+	}
+	return out, nil
+}
+
+// copyExcept copies src into dst leaving variable skip untouched.
+func copyExcept(dst, src cnf.Assignment, skip cnf.Var) {
+	for v := 1; v < len(src); v++ {
+		if cnf.Var(v) != skip {
+			dst.Set(cnf.Var(v), src.Get(cnf.Var(v)))
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package core implements the paper's primary contribution: the NBL-SAT
+// satisfiability checker (Algorithm 1) and satisfying-assignment
+// extraction (Algorithm 2), on top of the noise and hyperspace
+// substrates.
+//
+// Two engines are provided:
+//
+//   - Engine: the Monte-Carlo simulation engine. It estimates the mean of
+//     S_N = tau_N·Sigma_N over noise samples, stopping on the paper's
+//     convergence rule (mean stable to a given number of significant
+//     digits) or a sample budget, and decides SAT when the mean is
+//     significantly above zero. This is the software realization the
+//     paper validated in MATLAB (Section IV).
+//   - the Exact* functions: closed-form evaluation of E[S_N] through the
+//     weighted model count K' (E[S_N] = K'·sigma^(2nm)), which is what
+//     the superposition algebra of Section III guarantees the mean
+//     converges to. They serve as ground truth in tests and experiments.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// Options configures a Monte-Carlo NBL-SAT engine.
+type Options struct {
+	// Family selects the basis noise family. Default UniformHalf, the
+	// paper's choice.
+	Family noise.Family
+	// Seed seeds every noise stream. Runs are reproducible given
+	// (Options, formula).
+	Seed uint64
+	// MaxSamples is the per-check sample budget (paper: 1e8).
+	// Default 4e6.
+	MaxSamples int64
+	// MinSamples is the minimum number of samples before any decision
+	// or convergence stop. Default 10_000.
+	MinSamples int64
+	// CheckEvery is the cadence, in samples, of convergence checks.
+	// Default 50_000.
+	CheckEvery int64
+	// Digits is the significant-digit stability criterion of the paper's
+	// stopping rule. Default 3.
+	Digits int
+	// Theta is the SAT decision threshold in standard errors: the check
+	// returns SAT when mean > Theta·stderr. Default 4.
+	Theta float64
+	// Workers is the number of parallel sampling goroutines. Default 1;
+	// results are deterministic for a fixed worker count.
+	Workers int
+}
+
+// withDefaults fills zero fields with defaults.
+func (o Options) withDefaults() Options {
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 4_000_000
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 10_000
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 50_000
+	}
+	if o.Digits == 0 {
+		o.Digits = 3
+	}
+	if o.Theta == 0 {
+		o.Theta = 4
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Result reports the outcome of one NBL-SAT check (Algorithm 1).
+type Result struct {
+	// Satisfiable is the decision: true when the S_N mean is
+	// significantly positive.
+	Satisfiable bool
+	// Mean is the final running mean of S_N.
+	Mean float64
+	// StdErr is the standard error of Mean.
+	StdErr float64
+	// ZScore is Mean/StdErr (0 when StdErr is 0 or not yet defined).
+	ZScore float64
+	// Samples is the number of noise samples consumed.
+	Samples int64
+	// Converged reports whether the significant-digit rule stopped the
+	// run (as opposed to exhausting MaxSamples).
+	Converged bool
+}
+
+func (r Result) String() string {
+	verdict := "UNSAT"
+	if r.Satisfiable {
+		verdict = "SAT"
+	}
+	return fmt.Sprintf("%s mean=%.4g stderr=%.3g z=%.2f samples=%d converged=%v",
+		verdict, r.Mean, r.StdErr, r.ZScore, r.Samples, r.Converged)
+}
+
+// Engine is a Monte-Carlo NBL-SAT solver for one formula. Engines are
+// safe to reuse across checks; each check consumes fresh noise streams.
+type Engine struct {
+	f        *cnf.Formula
+	opts     Options
+	checkSeq uint64 // distinct noise streams per check
+}
+
+// ErrNoVariables is returned for formulas over zero variables.
+var ErrNoVariables = errors.New("core: formula has no variables")
+
+// NewEngine validates the formula and returns a Monte-Carlo engine.
+func NewEngine(f *cnf.Formula, opts Options) (*Engine, error) {
+	if f.NumVars < 1 {
+		return nil, ErrNoVariables
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{f: f, opts: opts.withDefaults()}, nil
+}
+
+// Formula returns the engine's formula.
+func (e *Engine) Formula() *cnf.Formula { return e.f }
+
+// Options returns the engine's effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Check runs Algorithm 1: a single-operation satisfiability check on the
+// unreduced hyperspace.
+func (e *Engine) Check() Result {
+	return e.CheckBound(cnf.NewAssignment(e.f.NumVars))
+}
+
+// CheckBound runs Algorithm 1 on the hyperspace reduced by the given
+// variable bindings (tau_N with bound variables fixed, Sigma_N
+// untouched), the primitive that Algorithm 2 iterates.
+func (e *Engine) CheckBound(bound cnf.Assignment) Result {
+	// Degenerate formulas need no noise: no clauses means SAT (m >= 1 is
+	// required by the bank); an empty clause is structurally UNSAT and
+	// would only slow the sampler down (Sigma_N ≡ 0).
+	if e.f.NumClauses() == 0 {
+		return Result{Satisfiable: true, Converged: true}
+	}
+	for _, c := range e.f.Clauses {
+		if len(c) == 0 {
+			return Result{Satisfiable: false, Converged: true}
+		}
+	}
+
+	e.checkSeq++
+	mean, stderr, samples, converged := e.sample(bound, e.checkSeq)
+
+	z := 0.0
+	if stderr > 0 {
+		z = mean / stderr
+	}
+	return Result{
+		Satisfiable: z > e.opts.Theta,
+		Mean:        mean,
+		StdErr:      stderr,
+		ZScore:      z,
+		Samples:     samples,
+		Converged:   converged,
+	}
+}
+
+// MeanTrace runs the sampler on the unreduced hyperspace and records the
+// running mean every `every` samples up to maxSamples, reproducing the
+// data series of the paper's Figure 1. It uses a single worker so the
+// trace is a true prefix-mean sequence.
+func (e *Engine) MeanTrace(every, maxSamples int64) []TracePoint {
+	e.checkSeq++
+	ev := e.newEvaluator(cnf.NewAssignment(e.f.NumVars), e.checkSeq, 0)
+	var w stats.Welford
+	var out []TracePoint
+	for i := int64(1); i <= maxSamples; i++ {
+		w.Add(ev.Step().S)
+		if i%every == 0 || i == maxSamples {
+			out = append(out, TracePoint{Samples: i, Mean: w.Mean()})
+		}
+	}
+	return out
+}
+
+// TracePoint is one point of a Figure-1-style running-mean series.
+type TracePoint struct {
+	Samples int64
+	Mean    float64
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/cnf"
+	"repro/internal/noise"
+)
+
+// maxExactVars bounds the exhaustive enumeration behind the exact
+// engine. NBL simulation is itself limited to small n·m by its SNR
+// (Section III-F), so this is not the binding constraint in practice.
+const maxExactVars = 28
+
+// WeightedCount returns K'(f, bound): the sum over satisfying
+// assignments consistent with the bindings of the product over clauses
+// of the number of satisfied literals. This is the exact coefficient of
+// sigma^(2nm) in E[S_N] for the hyperspace reduced by bound:
+// every satisfying minterm appears in Z_j once per literal that
+// satisfies clause j, so its self-correlation is counted with that
+// multiplicity.
+func WeightedCount(f *cnf.Formula, bound cnf.Assignment) *big.Int {
+	n := f.NumVars
+	if n > maxExactVars {
+		panic(fmt.Sprintf("core: exact engine limited to %d variables, got %d", maxExactVars, n))
+	}
+	total := new(big.Int)
+	w := new(big.Int)
+	for bits := uint64(0); bits < 1<<n; bits++ {
+		consistent := true
+		for v := 1; v <= n; v++ {
+			want := bound.Get(cnf.Var(v))
+			bit := bits&(1<<(v-1)) != 0
+			if want == cnf.True && !bit || want == cnf.False && bit {
+				consistent = false
+				break
+			}
+		}
+		if !consistent {
+			continue
+		}
+		a := cnf.AssignmentFromBits(bits, n)
+		w.SetInt64(1)
+		sat := true
+		for _, c := range f.Clauses {
+			t := a.SatisfiedLiterals(c)
+			if t == 0 {
+				sat = false
+				break
+			}
+			w.Mul(w, big.NewInt(int64(t)))
+		}
+		if sat {
+			total.Add(total, w)
+		}
+	}
+	return total
+}
+
+// ExactMean returns the closed-form E[S_N] = K'·sigma^(2nm) for the
+// hyperspace reduced by bound, under the given noise family. For large
+// n·m with the UniformHalf family the value may underflow float64 to 0;
+// use WeightedCount for the exact integer coefficient.
+func ExactMean(f *cnf.Formula, bound cnf.Assignment, fam noise.Family) float64 {
+	k, _ := new(big.Float).SetInt(WeightedCount(f, bound)).Float64()
+	nm := float64(f.NumVars * f.NumClauses())
+	return k * math.Pow(fam.Sigma2(), nm)
+}
+
+// ExactCheck is the idealized Algorithm 1: infinite-sample NBL-SAT.
+// It reports SAT exactly when E[S_N] > 0, i.e. K' > 0.
+func ExactCheck(f *cnf.Formula) bool {
+	return WeightedCount(f, cnf.NewAssignment(f.NumVars)).Sign() > 0
+}
+
+// ExactCheckBound is ExactCheck on the reduced hyperspace.
+func ExactCheckBound(f *cnf.Formula, bound cnf.Assignment) bool {
+	return WeightedCount(f, bound).Sign() > 0
+}
+
+// ExactAssign is the idealized Algorithm 2: it recovers a satisfying
+// assignment using exactly n reduced exact checks, mirroring the
+// iterative binding procedure with an infinite-sample oracle. The bool
+// reports satisfiability; when false the assignment is nil.
+func ExactAssign(f *cnf.Formula) (cnf.Assignment, bool) {
+	if !ExactCheck(f) {
+		return nil, false
+	}
+	bound := cnf.NewAssignment(f.NumVars)
+	for v := 1; v <= f.NumVars; v++ {
+		bound.Set(cnf.Var(v), cnf.True)
+		if !ExactCheckBound(f, bound) {
+			bound.Set(cnf.Var(v), cnf.False)
+		}
+	}
+	return bound, true
+}

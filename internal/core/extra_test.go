@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/noise"
+)
+
+func TestMeanTraceConvergesToExactMean(t *testing.T) {
+	f := gen.PaperExample6()
+	o := testOpts(31)
+	e := mustEngine(t, f, o)
+	trace := e.MeanTrace(100_000, 800_000)
+	want := ExactMean(f, cnf.NewAssignment(2), noise.UniformUnit)
+	last := trace[len(trace)-1]
+	if math.Abs(last.Mean-want) > 0.3*want {
+		t.Errorf("trace end mean %v, exact %v", last.Mean, want)
+	}
+	// The trace must be a prefix-mean sequence: sample counts strictly
+	// increasing.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Samples <= trace[i-1].Samples {
+			t.Fatal("non-increasing sample counts in trace")
+		}
+	}
+}
+
+func TestThetaControlsDecision(t *testing.T) {
+	// With an absurdly high theta, even a clearly satisfiable instance
+	// is declared UNSAT — theta is the knob trading false positives for
+	// false negatives.
+	f := gen.PaperExample6()
+	o := testOpts(32)
+	o.Theta = 1e9
+	if r := mustEngine(t, f, o).Check(); r.Satisfiable {
+		t.Errorf("theta=1e9 should force UNSAT: %v", r)
+	}
+	o.Theta = 0.001
+	if r := mustEngine(t, f, o).Check(); !r.Satisfiable {
+		t.Errorf("tiny theta should accept: %v", r)
+	}
+}
+
+func TestCheckEverySmallerThanWorkers(t *testing.T) {
+	// Degenerate cadence: CheckEvery < Workers must still terminate and
+	// decide correctly (the sampler clamps the round size).
+	f := gen.PaperExample6()
+	o := testOpts(33)
+	o.Workers = 4
+	o.CheckEvery = 2
+	o.MaxSamples = 200_000
+	o.MinSamples = 100_000
+	if r := mustEngine(t, f, o).Check(); !r.Satisfiable {
+		t.Errorf("clamped round size misdecided: %v", r)
+	}
+}
+
+func TestUniformFamiliesShareDecisionGeometry(t *testing.T) {
+	// UniformHalf and UniformUnit draw from the same underlying stream,
+	// scaled; their z-scores on the same seed must match closely (the
+	// scale cancels in mean/stderr).
+	f := gen.PaperExample6()
+	zs := map[noise.Family]float64{}
+	for _, fam := range []noise.Family{noise.UniformHalf, noise.UniformUnit} {
+		o := testOpts(34)
+		o.Family = fam
+		o.MaxSamples = 300_000
+		o.MinSamples = 300_000
+		o.CheckEvery = 300_000
+		zs[fam] = mustEngine(t, f, o).Check().ZScore
+	}
+	if math.Abs(zs[noise.UniformHalf]-zs[noise.UniformUnit]) > 1e-6 {
+		t.Errorf("scaled uniform families should have identical z: %v", zs)
+	}
+}
+
+func TestExactMeanUnderflowBehavior(t *testing.T) {
+	// A big instance with the paper's family: ExactMean underflows to 0
+	// while WeightedCount stays exact. (n=18, m=17 -> nm=306 > 300.)
+	f := cnf.New(18)
+	for j := 0; j < 17; j++ {
+		f.Add(j%18+1, -((j+1)%18 + 1))
+	}
+	unbound := cnf.NewAssignment(f.NumVars)
+	if k := WeightedCount(f, unbound); k.Sign() <= 0 {
+		t.Fatal("instance should be satisfiable with positive K'")
+	}
+	if got := ExactMean(f, unbound, noise.UniformHalf); got != 0 {
+		t.Errorf("expected underflow to 0, got %v", got)
+	}
+	if got := ExactMean(f, unbound, noise.UniformUnit); got <= 0 {
+		t.Errorf("unit-variance mean should stay positive, got %v", got)
+	}
+}
+
+func TestCubeOnFullyConstrainedInstance(t *testing.T) {
+	// Every variable forced: the cube equals the unique minterm.
+	f := cnf.FromClauses([]int{1}, []int{-2})
+	e := mustEngine(t, f, testOpts(35))
+	res, err := e.Cube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Get(1) != cnf.True || res.Assignment.Get(2) != cnf.False {
+		t.Errorf("cube = %s, want x1 !x2", res.Assignment)
+	}
+}
+
+func TestWeightedCountPanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 28")
+		}
+	}()
+	WeightedCount(cnf.New(29), cnf.NewAssignment(29))
+}
+
+func TestResultZScoreConsistency(t *testing.T) {
+	f := gen.PaperExample6()
+	r := mustEngine(t, f, testOpts(36)).Check()
+	if r.StdErr > 0 {
+		if math.Abs(r.ZScore-r.Mean/r.StdErr) > 1e-12 {
+			t.Errorf("ZScore %v inconsistent with Mean/StdErr %v", r.ZScore, r.Mean/r.StdErr)
+		}
+	}
+}

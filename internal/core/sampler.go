@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/cnf"
+	"repro/internal/hyperspace"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// newEvaluator builds a hyperspace evaluator with bindings applied,
+// drawing from noise streams unique to (engine seed, check sequence
+// number, worker id). mix folds the identifiers so that different checks
+// and workers never share a stream.
+func (e *Engine) newEvaluator(bound cnf.Assignment, seq uint64, worker int) *hyperspace.Evaluator {
+	seed := e.opts.Seed ^ seq*0x9e3779b97f4a7c15 ^ uint64(worker)*0xd1b54a32d192ed03
+	bank := noise.NewBank(e.opts.Family, seed, e.f.NumVars, e.f.NumClauses())
+	ev := hyperspace.New(e.f, bank)
+	ev.BindAll(bound)
+	return ev
+}
+
+// sample estimates mean(S_N) under the given bindings. It runs
+// Options.Workers goroutines in lockstep rounds of CheckEvery samples
+// each, merging their accumulators between rounds and applying the
+// significant-digit convergence rule. The returned values are the final
+// mean, its standard error, total samples, and whether the convergence
+// rule (rather than the budget) stopped the run.
+func (e *Engine) sample(bound cnf.Assignment, seq uint64) (mean, stderr float64, samples int64, converged bool) {
+	workers := e.opts.Workers
+	evs := make([]*hyperspace.Evaluator, workers)
+	for w := 0; w < workers; w++ {
+		evs[w] = e.newEvaluator(bound, seq, w)
+	}
+
+	conv := &stats.Convergence{
+		Digits:     e.opts.Digits,
+		Window:     4,
+		MaxSamples: e.opts.MaxSamples,
+	}
+
+	var total stats.Welford
+	perRound := e.opts.CheckEvery
+	if perRound < int64(workers) {
+		perRound = int64(workers)
+	}
+	share := perRound / int64(workers)
+
+	partial := make([]stats.Welford, workers)
+	for total.Count() < e.opts.MaxSamples {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				acc := &partial[w]
+				*acc = stats.Welford{}
+				ev := evs[w]
+				for i := int64(0); i < share; i++ {
+					acc.Add(ev.Step().S)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			total.Merge(partial[w])
+		}
+		if total.Count() >= e.opts.MinSamples &&
+			conv.Check(total.Mean(), total.Count()) {
+			converged = total.Count() < e.opts.MaxSamples
+			break
+		}
+	}
+	return total.Mean(), total.StdErr(), total.Count(), converged
+}

@@ -1,0 +1,307 @@
+// Package count implements exact model counting (#SAT) for CNF formulas.
+//
+// The NBL-SAT theory predicts E[S_N] = K' · sigma^(2nm), where K' is the
+// clause-cover-weighted model count (each satisfying assignment counted
+// once per way of picking one satisfied literal from every clause). This
+// package supplies both plain and weighted counts as ground truth for the
+// Monte-Carlo engine's convergence tests and for the K-scaling experiment
+// (E5), plus the SAT/UNSAT oracle used in solver cross-validation.
+//
+// Two algorithms are provided: exhaustive enumeration (simple, used to
+// validate everything else) and a DPLL-style counter with unit
+// propagation and connected-component decomposition that comfortably
+// handles the instance sizes any NBL simulation can reach.
+package count
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// maxBruteVars bounds exhaustive enumeration: 2^28 evaluations is the
+// most we are willing to spend in a test helper.
+const maxBruteVars = 28
+
+// Brute returns the number of satisfying assignments by exhaustive
+// enumeration. It panics if f has more than 28 variables.
+func Brute(f *cnf.Formula) uint64 {
+	n := f.NumVars
+	if n > maxBruteVars {
+		panic(fmt.Sprintf("count: Brute limited to %d variables, got %d", maxBruteVars, n))
+	}
+	var count uint64
+	for bits := uint64(0); bits < 1<<n; bits++ {
+		if cnf.AssignmentFromBits(bits, n).Satisfies(f) {
+			count++
+		}
+	}
+	return count
+}
+
+// WeightedBrute returns the clause-cover-weighted model count K':
+//
+//	K' = sum over satisfying assignments a of
+//	     prod over clauses c of (number of literals of c true under a)
+//
+// This is exactly the coefficient in E[S_N] = K' · sigma^(2nm) for the
+// NBL encoding, because Z_j contains one cube-subspace term per literal
+// of clause j, so a minterm satisfied via t literals of clause j appears
+// t times in Z_j's superposition. It panics if f has more than 28
+// variables. The result is exact (big.Int) since weights multiply.
+func WeightedBrute(f *cnf.Formula) *big.Int {
+	n := f.NumVars
+	if n > maxBruteVars {
+		panic(fmt.Sprintf("count: WeightedBrute limited to %d variables, got %d", maxBruteVars, n))
+	}
+	total := new(big.Int)
+	w := new(big.Int)
+	for bits := uint64(0); bits < 1<<n; bits++ {
+		a := cnf.AssignmentFromBits(bits, n)
+		w.SetInt64(1)
+		sat := true
+		for _, c := range f.Clauses {
+			t := a.SatisfiedLiterals(c)
+			if t == 0 {
+				sat = false
+				break
+			}
+			w.Mul(w, big.NewInt(int64(t)))
+		}
+		if sat {
+			total.Add(total, w)
+		}
+	}
+	return total
+}
+
+// Count returns the exact number of satisfying assignments of f using
+// DPLL with unit propagation and connected-component decomposition.
+// Variables that appear in no clause contribute a factor of 2 each.
+func Count(f *cnf.Formula) *big.Int {
+	g, hasEmpty := f.Simplify()
+	if hasEmpty {
+		return new(big.Int)
+	}
+	mentioned := g.Vars()
+	free := g.NumVars - len(mentioned)
+
+	// Compact variables to 1..len(mentioned) for dense indexing.
+	remap := make(map[cnf.Var]cnf.Var, len(mentioned))
+	for i, v := range mentioned {
+		remap[v] = cnf.Var(i + 1)
+	}
+	h := cnf.New(len(mentioned))
+	for _, c := range g.Clauses {
+		d := make(cnf.Clause, len(c))
+		for i, l := range c {
+			d[i] = cnf.NewLit(remap[l.Var()], l.IsNeg())
+		}
+		h.AddClause(d)
+	}
+
+	result := countComponents(h)
+	if free > 0 {
+		result.Mul(result, new(big.Int).Lsh(big.NewInt(1), uint(free)))
+	}
+	return result
+}
+
+// IsSatisfiable reports whether f has at least one model. It shares the
+// DPLL machinery but short-circuits at the first model.
+func IsSatisfiable(f *cnf.Formula) bool {
+	return Count(f).Sign() > 0
+}
+
+// countComponents splits the formula into connected components of its
+// variable-interaction graph and multiplies their counts. All variables
+// of h must be mentioned (callers compact first).
+func countComponents(h *cnf.Formula) *big.Int {
+	comps := components(h)
+	result := big.NewInt(1)
+	for _, comp := range comps {
+		c := countDPLL(comp, newPartial(comp.NumVars))
+		result.Mul(result, c)
+		if result.Sign() == 0 {
+			return result
+		}
+	}
+	return result
+}
+
+// components partitions clauses into connected components via union-find
+// on variables, returning each component as a compacted sub-formula.
+func components(h *cnf.Formula) []*cnf.Formula {
+	parent := make([]int, h.NumVars+1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, c := range h.Clauses {
+		for i := 1; i < len(c); i++ {
+			union(int(c[0].Var()), int(c[i].Var()))
+		}
+	}
+
+	groups := make(map[int][]cnf.Clause)
+	for _, c := range h.Clauses {
+		r := find(int(c[0].Var()))
+		groups[r] = append(groups[r], c)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots) // determinism
+
+	out := make([]*cnf.Formula, 0, len(groups))
+	for _, r := range roots {
+		clauses := groups[r]
+		remap := make(map[cnf.Var]cnf.Var)
+		sub := cnf.New(0)
+		for _, c := range clauses {
+			d := make(cnf.Clause, len(c))
+			for i, l := range c {
+				nv, ok := remap[l.Var()]
+				if !ok {
+					nv = cnf.Var(len(remap) + 1)
+					remap[l.Var()] = nv
+				}
+				d[i] = cnf.NewLit(nv, l.IsNeg())
+			}
+			sub.AddClause(d)
+		}
+		sub.NumVars = len(remap)
+		out = append(out, sub)
+	}
+	return out
+}
+
+// partial tracks a partial assignment during the DPLL recursion.
+type partial struct {
+	val      []cnf.Value
+	assigned int
+}
+
+func newPartial(n int) *partial {
+	return &partial{val: make([]cnf.Value, n+1)}
+}
+
+func (p *partial) set(v cnf.Var, val cnf.Value) {
+	p.val[v] = val
+	p.assigned++
+}
+
+func (p *partial) unset(v cnf.Var) {
+	p.val[v] = cnf.Unassigned
+	p.assigned--
+}
+
+func (p *partial) lit(l cnf.Lit) cnf.Value {
+	v := p.val[l.Var()]
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+// countDPLL counts models of h consistent with p. The count includes the
+// 2^unassigned factor for variables left free when all clauses are
+// satisfied.
+func countDPLL(h *cnf.Formula, p *partial) *big.Int {
+	// Unit propagation. Track trail for backtracking.
+	var trail []cnf.Var
+	undo := func() {
+		for _, v := range trail {
+			p.unset(v)
+		}
+	}
+	for {
+		progress := false
+		for _, c := range h.Clauses {
+			unassigned := cnf.Lit(-1)
+			nUn, sat := 0, false
+			for _, l := range c {
+				switch p.lit(l) {
+				case cnf.True:
+					sat = true
+				case cnf.Unassigned:
+					nUn++
+					unassigned = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			switch nUn {
+			case 0: // conflict
+				undo()
+				return new(big.Int)
+			case 1: // unit
+				val := cnf.True
+				if unassigned.IsNeg() {
+					val = cnf.False
+				}
+				p.set(unassigned.Var(), val)
+				trail = append(trail, unassigned.Var())
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Pick the first unassigned variable occurring in an unsatisfied
+	// clause; if none, all clauses are satisfied.
+	branch := cnf.Var(0)
+	for _, c := range h.Clauses {
+		sat := false
+		var cand cnf.Var
+		for _, l := range c {
+			if p.lit(l) == cnf.True {
+				sat = true
+				break
+			}
+			if cand == 0 && p.lit(l) == cnf.Unassigned {
+				cand = l.Var()
+			}
+		}
+		if !sat && cand != 0 {
+			branch = cand
+			break
+		}
+	}
+	if branch == 0 {
+		freeVars := h.NumVars - p.assigned
+		undo()
+		return new(big.Int).Lsh(big.NewInt(1), uint(freeVars))
+	}
+
+	total := new(big.Int)
+	for _, val := range []cnf.Value{cnf.True, cnf.False} {
+		p.set(branch, val)
+		total.Add(total, countDPLL(h, p))
+		p.unset(branch)
+	}
+	undo()
+	return total
+}

@@ -1,0 +1,124 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/cnf"
+)
+
+// Weighted returns the clause-cover-weighted model count K' (see
+// WeightedBrute) using connected-component decomposition: the weight of
+// an assignment factors over the components of the variable-interaction
+// graph, so K'(f) is the product of per-component weighted counts, with
+// a factor 2 per variable mentioned in no clause. Each component is
+// enumerated exhaustively, so the limit is the largest component's
+// variable count rather than the formula's.
+//
+// Unlike Count, Weighted must not pre-simplify: removing duplicate
+// literals or general tautologies changes per-clause satisfied-literal
+// multiplicities and hence K'.
+func Weighted(f *cnf.Formula) *big.Int {
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return new(big.Int)
+		}
+	}
+	// Union-find over variables through shared clauses.
+	parent := make([]int, f.NumVars+1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, c := range f.Clauses {
+		for i := 1; i < len(c); i++ {
+			ra, rb := find(int(c[0].Var())), find(int(c[i].Var()))
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+
+	// Group clauses and variables by component root.
+	compClauses := map[int][]cnf.Clause{}
+	compVars := map[int][]cnf.Var{}
+	seenVar := make([]bool, f.NumVars+1)
+	for _, c := range f.Clauses {
+		root := find(int(c[0].Var()))
+		compClauses[root] = append(compClauses[root], c)
+		for _, l := range c {
+			v := l.Var()
+			if !seenVar[v] {
+				seenVar[v] = true
+				compVars[find(int(v))] = append(compVars[find(int(v))], v)
+			}
+		}
+	}
+
+	free := 0
+	for v := 1; v <= f.NumVars; v++ {
+		if !seenVar[v] {
+			free++
+		}
+	}
+
+	total := big.NewInt(1)
+	for root, clauses := range compClauses {
+		vars := compVars[root]
+		if len(vars) > maxBruteVars {
+			panic(fmt.Sprintf("count: Weighted component has %d variables, limit %d",
+				len(vars), maxBruteVars))
+		}
+		total.Mul(total, weightedComponent(clauses, vars))
+		if total.Sign() == 0 {
+			return total
+		}
+	}
+	if free > 0 {
+		total.Mul(total, new(big.Int).Lsh(big.NewInt(1), uint(free)))
+	}
+	return total
+}
+
+// weightedComponent enumerates the component's local assignments and
+// sums the per-clause satisfied-literal products.
+func weightedComponent(clauses []cnf.Clause, vars []cnf.Var) *big.Int {
+	index := make(map[cnf.Var]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	total := new(big.Int)
+	w := new(big.Int)
+	for bits := uint64(0); bits < 1<<uint(len(vars)); bits++ {
+		w.SetInt64(1)
+		sat := true
+		for _, c := range clauses {
+			t := 0
+			for _, l := range c {
+				val := bits&(1<<uint(index[l.Var()])) != 0
+				if l.IsNeg() {
+					val = !val
+				}
+				if val {
+					t++
+				}
+			}
+			if t == 0 {
+				sat = false
+				break
+			}
+			w.Mul(w, big.NewInt(int64(t)))
+		}
+		if sat {
+			total.Add(total, w)
+		}
+	}
+	return total
+}

@@ -1,0 +1,110 @@
+package count
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestWeightedMatchesBruteRandom(t *testing.T) {
+	g := rng.New(71)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + g.Intn(8)
+		m := 1 + g.Intn(3*n)
+		k := 1 + g.Intn(minInt(3, n))
+		f := gen.RandomKSAT(g, n, m, k)
+		a := Weighted(f)
+		b := WeightedBrute(f)
+		if a.Cmp(b) != 0 {
+			t.Fatalf("trial %d: Weighted=%s Brute=%s\n%s", trial, a, b, f)
+		}
+	}
+}
+
+func TestWeightedDuplicateLiterals(t *testing.T) {
+	// (x1 + x1): the model x1=1 satisfies via 2 literals -> K' = 2.
+	// Simplification would wrongly report 1; Weighted must not simplify.
+	f := cnf.FromClauses([]int{1, 1})
+	if got := Weighted(f); got.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("K' = %s, want 2", got)
+	}
+	if got := WeightedBrute(f); got.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("brute K' = %s, want 2", got)
+	}
+}
+
+func TestWeightedTautology(t *testing.T) {
+	// (x1 + !x1): each model satisfies via exactly one literal: K' = 2.
+	f := cnf.FromClauses([]int{1, -1})
+	if got := Weighted(f); got.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("K' = %s, want 2", got)
+	}
+}
+
+func TestWeightedComponentsAndFreeVars(t *testing.T) {
+	// Two independent components, each Example-6-shaped (K' = 2), plus a
+	// free variable: K' = 2 * 2 * 2 = 8.
+	f := cnf.New(5)
+	f.Add(1, 2)
+	f.Add(-1, -2)
+	f.Add(3, 4)
+	f.Add(-3, -4)
+	if got := Weighted(f); got.Cmp(big.NewInt(8)) != 0 {
+		t.Errorf("K' = %s, want 8", got)
+	}
+}
+
+func TestWeightedLargeDecomposableInstance(t *testing.T) {
+	// 30 independent 2-variable components: 60 variables total, far
+	// beyond brute force, but each component is tiny. K' = 2^30.
+	f := cnf.New(60)
+	for i := 0; i < 30; i++ {
+		a, b := 2*i+1, 2*i+2
+		f.Add(a, b)
+		f.Add(-a, -b)
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 30)
+	if got := Weighted(f); got.Cmp(want) != 0 {
+		t.Errorf("K' = %s, want 2^30", got)
+	}
+}
+
+func TestWeightedUnsatAndEmpty(t *testing.T) {
+	if got := Weighted(gen.PaperUNSAT()); got.Sign() != 0 {
+		t.Errorf("UNSAT K' = %s", got)
+	}
+	f := cnf.New(2)
+	f.Clauses = append(f.Clauses, cnf.Clause{})
+	if got := Weighted(f); got.Sign() != 0 {
+		t.Errorf("empty-clause K' = %s", got)
+	}
+	empty := cnf.New(3)
+	if got := Weighted(empty); got.Cmp(big.NewInt(8)) != 0 {
+		t.Errorf("clause-free K' = %s, want 8", got)
+	}
+}
+
+func TestWeightedOversizedComponentPanics(t *testing.T) {
+	f := cnf.New(30)
+	c := make(cnf.Clause, 30)
+	for v := 1; v <= 30; v++ {
+		c[v-1] = cnf.Pos(cnf.Var(v))
+	}
+	f.AddClause(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a 30-variable component")
+		}
+	}()
+	Weighted(f)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

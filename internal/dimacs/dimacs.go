@@ -1,0 +1,157 @@
+// Package dimacs reads and writes CNF formulas in the DIMACS CNF format,
+// the standard interchange format of the SAT community. The reader is
+// tolerant of the common dialect variations found in benchmark archives:
+// comment lines anywhere, clauses spanning multiple lines, multiple
+// clauses per line, and a missing final terminating 0.
+package dimacs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cnf"
+)
+
+// ParseError describes a syntactic problem in a DIMACS stream.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dimacs: line %d: %s", e.Line, e.Msg)
+}
+
+// Read parses a DIMACS CNF stream into a Formula. The declared variable
+// count from the problem line is honored (it may exceed the largest
+// variable mentioned); a clause count mismatch is an error, as is a
+// literal outside the declared range.
+func Read(r io.Reader) (*cnf.Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var (
+		f            *cnf.Formula
+		declVars     int
+		declClauses  = -1
+		current      cnf.Clause
+		line         int
+		sawProbLine  bool
+		clausesAdded int
+	)
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			if sawProbLine {
+				return nil, &ParseError{line, "duplicate problem line"}
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[0] != "p" || fields[1] != "cnf" {
+				return nil, &ParseError{line, fmt.Sprintf("malformed problem line %q", text)}
+			}
+			var err error
+			declVars, err = strconv.Atoi(fields[2])
+			if err != nil || declVars < 0 {
+				return nil, &ParseError{line, fmt.Sprintf("bad variable count %q", fields[2])}
+			}
+			declClauses, err = strconv.Atoi(fields[3])
+			if err != nil || declClauses < 0 {
+				return nil, &ParseError{line, fmt.Sprintf("bad clause count %q", fields[3])}
+			}
+			f = cnf.New(declVars)
+			sawProbLine = true
+			continue
+		}
+		if !sawProbLine {
+			return nil, &ParseError{line, "clause data before problem line"}
+		}
+		for _, tok := range strings.Fields(text) {
+			x, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, &ParseError{line, fmt.Sprintf("bad literal %q", tok)}
+			}
+			if x == 0 {
+				f.AddClause(current)
+				clausesAdded++
+				current = nil
+				continue
+			}
+			v := x
+			if v < 0 {
+				v = -v
+			}
+			if v > declVars {
+				return nil, &ParseError{line,
+					fmt.Sprintf("literal %d exceeds declared variable count %d", x, declVars)}
+			}
+			current = append(current, cnf.FromDIMACS(x))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: %w", err)
+	}
+	if !sawProbLine {
+		return nil, &ParseError{line, "missing problem line"}
+	}
+	if len(current) > 0 { // tolerate missing trailing 0
+		f.AddClause(current)
+		clausesAdded++
+	}
+	if clausesAdded != declClauses {
+		return nil, &ParseError{line,
+			fmt.Sprintf("problem line declares %d clauses, found %d", declClauses, clausesAdded)}
+	}
+	// AddClause may have grown NumVars beyond the declaration only if a
+	// literal exceeded declVars, which we rejected above; restore the
+	// declared count in case it is larger than any mentioned variable.
+	f.NumVars = declVars
+	return f, nil
+}
+
+// ReadString parses a DIMACS CNF document held in a string.
+func ReadString(s string) (*cnf.Formula, error) {
+	return Read(strings.NewReader(s))
+}
+
+// Write emits the formula in DIMACS CNF format with an optional leading
+// comment (may be multi-line; each line is prefixed with "c ").
+func Write(w io.Writer, f *cnf.Formula, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, ln := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "c %s\n", ln); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, f.NumClauses()); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", l.DIMACS()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteString renders the formula as a DIMACS CNF document.
+func WriteString(f *cnf.Formula, comment string) string {
+	var sb strings.Builder
+	// strings.Builder writes cannot fail.
+	_ = Write(&sb, f, comment)
+	return sb.String()
+}

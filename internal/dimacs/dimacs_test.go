@@ -1,0 +1,144 @@
+package dimacs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+const sample = `c paper Example 5
+c S = (x1)(x2+!x3)(!x1+x3)(x1+!x2+x3)
+p cnf 3 4
+1 0
+2 -3 0
+-1 3 0
+1 -2 3 0
+`
+
+func TestReadBasic(t *testing.T) {
+	f, err := ReadString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || f.NumClauses() != 4 {
+		t.Fatalf("dims: %d vars %d clauses", f.NumVars, f.NumClauses())
+	}
+	if f.Clauses[1].String() != "(x2 + !x3)" {
+		t.Errorf("clause 1 = %s", f.Clauses[1])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := ReadString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := WriteString(f, "round trip")
+	g, err := ReadString(out)
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, out)
+	}
+	if g.String() != f.String() {
+		t.Errorf("round trip changed formula:\n%s\nvs\n%s", f, g)
+	}
+}
+
+func TestReadMultiClausePerLine(t *testing.T) {
+	f, err := ReadString("p cnf 2 2\n1 2 0 -1 -2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 {
+		t.Errorf("clauses = %d, want 2", f.NumClauses())
+	}
+}
+
+func TestReadClauseSpanningLines(t *testing.T) {
+	f, err := ReadString("p cnf 3 1\n1\n-2\n3 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 3 {
+		t.Errorf("got %v", f.Clauses)
+	}
+}
+
+func TestReadMissingTrailingZero(t *testing.T) {
+	f, err := ReadString("p cnf 2 2\n1 2 0\n-1 -2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 {
+		t.Errorf("clauses = %d, want 2", f.NumClauses())
+	}
+}
+
+func TestReadPercentTerminator(t *testing.T) {
+	// SATLIB benchmark files end with "%" and a stray "0".
+	_, err := ReadString("p cnf 1 1\n1 0\n%\n")
+	if err != nil {
+		t.Fatalf("SATLIB-style terminator rejected: %v", err)
+	}
+}
+
+func TestReadDeclaredVarsExceedMentioned(t *testing.T) {
+	f, err := ReadString("p cnf 10 1\n1 -2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 10 {
+		t.Errorf("NumVars = %d, want declared 10", f.NumVars)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"clause before header": "1 2 0\np cnf 2 1\n",
+		"duplicate header":     "p cnf 1 1\np cnf 1 1\n1 0\n",
+		"malformed header":     "p cnf x 1\n1 0\n",
+		"negative counts":      "p cnf -1 1\n1 0\n",
+		"bad literal":          "p cnf 2 1\n1 foo 0\n",
+		"literal out of range": "p cnf 2 1\n3 0\n",
+		"clause count low":     "p cnf 2 3\n1 0\n",
+		"clause count high":    "p cnf 2 1\n1 0\n2 0\n",
+		"empty input":          "",
+		"only comments":        "c nothing here\n",
+	}
+	for name, doc := range cases {
+		if _, err := ReadString(doc); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := ReadString("p cnf 2 1\nzap 0\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 2 || !strings.Contains(pe.Error(), "line 2") {
+		t.Errorf("ParseError = %v", pe)
+	}
+}
+
+func TestWriteComment(t *testing.T) {
+	f := cnf.FromClauses([]int{1})
+	out := WriteString(f, "two\nlines")
+	if !strings.HasPrefix(out, "c two\nc lines\n") {
+		t.Errorf("comment formatting:\n%s", out)
+	}
+}
+
+func TestWriteEmptyFormula(t *testing.T) {
+	f := cnf.New(0)
+	out := WriteString(f, "")
+	g, err := ReadString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != 0 || g.NumClauses() != 0 {
+		t.Errorf("empty formula round trip: %v", g)
+	}
+}

@@ -1,0 +1,104 @@
+package dimacs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestSolutionRoundTrip(t *testing.T) {
+	model := cnf.AssignmentFromBools([]bool{true, false, true, true, false})
+	var sb strings.Builder
+	if err := WriteSolution(&sb, "SATISFIABLE", model); err != nil {
+		t.Fatal(err)
+	}
+	status, back, err := ReadSolution(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if status != "SATISFIABLE" {
+		t.Fatalf("status = %q", status)
+	}
+	for v := 1; v <= 5; v++ {
+		if back.Get(cnf.Var(v)) != model.Get(cnf.Var(v)) {
+			t.Errorf("variable %d: %v != %v", v, back.Get(cnf.Var(v)), model.Get(cnf.Var(v)))
+		}
+	}
+}
+
+func TestSolutionLongModelWraps(t *testing.T) {
+	model := cnf.NewAssignment(50)
+	for v := 1; v <= 50; v++ {
+		model.Set(cnf.Var(v), cnf.True)
+	}
+	var sb strings.Builder
+	if err := WriteSolution(&sb, "SATISFIABLE", model); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	vLines := 0
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "v") {
+			vLines++
+		}
+	}
+	if vLines < 3 {
+		t.Errorf("50 variables should wrap onto >= 3 value lines, got %d", vLines)
+	}
+	_, back, err := ReadSolution(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Total() {
+		t.Error("round-tripped model not total")
+	}
+}
+
+func TestSolutionUnsatAndUnknown(t *testing.T) {
+	for _, status := range []string{"UNSATISFIABLE", "UNKNOWN"} {
+		var sb strings.Builder
+		if err := WriteSolution(&sb, status, nil); err != nil {
+			t.Fatal(err)
+		}
+		got, model, err := ReadSolution(strings.NewReader(sb.String()))
+		if err != nil || got != status || model != nil {
+			t.Errorf("%s: got (%q, %v, %v)", status, got, model, err)
+		}
+	}
+}
+
+func TestSolutionWriteErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSolution(&sb, "MAYBE", nil); err == nil {
+		t.Error("invalid status accepted")
+	}
+	if err := WriteSolution(&sb, "SATISFIABLE", nil); err == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestSolutionReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no status":        "v 1 0\n",
+		"duplicate status": "s UNKNOWN\ns UNKNOWN\n",
+		"bad literal":      "s SATISFIABLE\nv 1 zap 0\n",
+		"garbage line":     "s UNKNOWN\nwhat is this\n",
+	}
+	for name, doc := range cases {
+		if _, _, err := ReadSolution(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSolutionCommentsIgnored(t *testing.T) {
+	doc := "c solver line\ns SATISFIABLE\nc timing\nv 1 -2 0\n"
+	status, model, err := ReadSolution(strings.NewReader(doc))
+	if err != nil || status != "SATISFIABLE" {
+		t.Fatalf("status %q err %v", status, err)
+	}
+	if model.Get(1) != cnf.True || model.Get(2) != cnf.False {
+		t.Errorf("model = %s", model)
+	}
+}

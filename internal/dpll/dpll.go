@@ -1,0 +1,255 @@
+// Package dpll implements the classic Davis-Putnam-Logemann-Loveland
+// complete SAT procedure: depth-first search over variable assignments
+// with unit propagation and pure-literal elimination.
+//
+// It is one of the baseline "complete approaches" the paper positions
+// NBL-SAT against (its references [3]-[7] are all DPLL descendants), and
+// it doubles as the host solver for the Section V hybrid architecture:
+// the branching heuristic is pluggable, so the hybrid package can drive
+// the search with NBL-coprocessor mean estimates.
+package dpll
+
+import (
+	"repro/internal/cnf"
+)
+
+// Brancher chooses the next decision. Pick is called with the formula
+// and the current partial assignment and must return an unassigned
+// variable and the polarity to try first. Pick is only called when at
+// least one clause is unsatisfied and contains an unassigned literal.
+type Brancher interface {
+	Pick(f *cnf.Formula, a cnf.Assignment) (cnf.Var, cnf.Value)
+}
+
+// Stats counts search effort.
+type Stats struct {
+	// Decisions is the number of branching choices made.
+	Decisions int64
+	// Propagations is the number of unit-propagated assignments.
+	Propagations int64
+	// PureLiterals is the number of pure-literal assignments.
+	PureLiterals int64
+	// Backtracks is the number of conflicts that forced backtracking.
+	Backtracks int64
+}
+
+// Solver runs DPLL on one formula.
+type Solver struct {
+	f     *cnf.Formula
+	b     Brancher
+	stats Stats
+}
+
+// New returns a solver for f using the given brancher (nil selects
+// FirstUnassigned).
+func New(f *cnf.Formula, b Brancher) *Solver {
+	if b == nil {
+		b = FirstUnassigned{}
+	}
+	return &Solver{f: f, b: b}
+}
+
+// Solve runs the search. It returns a satisfying assignment and true, or
+// nil and false when the formula is unsatisfiable.
+func (s *Solver) Solve() (cnf.Assignment, bool) {
+	a := cnf.NewAssignment(s.f.NumVars)
+	if s.solve(a) {
+		// Complete the assignment: variables never touched by the search
+		// (unconstrained) default to false.
+		for v := 1; v <= s.f.NumVars; v++ {
+			if a.Get(cnf.Var(v)) == cnf.Unassigned {
+				a.Set(cnf.Var(v), cnf.False)
+			}
+		}
+		return a, true
+	}
+	return nil, false
+}
+
+// Stats returns the effort counters of the last Solve.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Solve is a convenience one-shot with the default brancher.
+func Solve(f *cnf.Formula) (cnf.Assignment, bool) {
+	return New(f, nil).Solve()
+}
+
+func (s *Solver) solve(a cnf.Assignment) bool {
+	var trail []cnf.Var
+	undo := func() {
+		for _, v := range trail {
+			a.Set(v, cnf.Unassigned)
+		}
+	}
+
+	// Unit propagation and pure-literal elimination to fixpoint.
+	for {
+		progress := false
+
+		// Unit propagation.
+		for _, c := range s.f.Clauses {
+			var unit cnf.Lit
+			unassigned, sat := 0, false
+			for _, l := range c {
+				switch a.LitValue(l) {
+				case cnf.True:
+					sat = true
+				case cnf.Unassigned:
+					unassigned++
+					unit = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				s.stats.Backtracks++
+				undo()
+				return false
+			case 1:
+				val := cnf.True
+				if unit.IsNeg() {
+					val = cnf.False
+				}
+				a.Set(unit.Var(), val)
+				trail = append(trail, unit.Var())
+				s.stats.Propagations++
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+
+		// Pure literal elimination: a variable appearing with only one
+		// polarity among not-yet-satisfied clauses can be set to it.
+		polarity := make(map[cnf.Var]int8) // 1 pos, 2 neg, 3 both
+		for _, c := range s.f.Clauses {
+			if a.EvalClause(c) == cnf.True {
+				continue
+			}
+			for _, l := range c {
+				if a.Get(l.Var()) != cnf.Unassigned {
+					continue
+				}
+				bit := int8(1)
+				if l.IsNeg() {
+					bit = 2
+				}
+				polarity[l.Var()] |= bit
+			}
+		}
+		for v, p := range polarity {
+			if p == 1 || p == 2 {
+				val := cnf.True
+				if p == 2 {
+					val = cnf.False
+				}
+				a.Set(v, val)
+				trail = append(trail, v)
+				s.stats.PureLiterals++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// All clauses satisfied?
+	done := true
+	for _, c := range s.f.Clauses {
+		if a.EvalClause(c) != cnf.True {
+			done = false
+			break
+		}
+	}
+	if done {
+		return true
+	}
+
+	// Branch.
+	v, first := s.b.Pick(s.f, a)
+	s.stats.Decisions++
+	for _, val := range []cnf.Value{first, first.Not()} {
+		a.Set(v, val)
+		if s.solve(a) {
+			return true
+		}
+		a.Set(v, cnf.Unassigned)
+	}
+	undo()
+	return false
+}
+
+// FirstUnassigned branches on the first unassigned variable of the first
+// unsatisfied clause, trying true first. It is the deterministic
+// baseline heuristic.
+type FirstUnassigned struct{}
+
+// Pick implements Brancher.
+func (FirstUnassigned) Pick(f *cnf.Formula, a cnf.Assignment) (cnf.Var, cnf.Value) {
+	for _, c := range f.Clauses {
+		if a.EvalClause(c) == cnf.True {
+			continue
+		}
+		for _, l := range c {
+			if a.Get(l.Var()) == cnf.Unassigned {
+				return l.Var(), cnf.True
+			}
+		}
+	}
+	// Only reachable if a clause is unsatisfied with no free literal,
+	// which solve() treats as a conflict before branching.
+	for v := 1; v <= f.NumVars; v++ {
+		if a.Get(cnf.Var(v)) == cnf.Unassigned {
+			return cnf.Var(v), cnf.True
+		}
+	}
+	panic("dpll: Pick called with no unassigned variables")
+}
+
+// MaxOccurrence branches on the unassigned variable occurring most often
+// in unsatisfied clauses (a MOM-style heuristic), trying the majority
+// polarity first.
+type MaxOccurrence struct{}
+
+// Pick implements Brancher.
+func (MaxOccurrence) Pick(f *cnf.Formula, a cnf.Assignment) (cnf.Var, cnf.Value) {
+	pos := make(map[cnf.Var]int)
+	neg := make(map[cnf.Var]int)
+	for _, c := range f.Clauses {
+		if a.EvalClause(c) == cnf.True {
+			continue
+		}
+		for _, l := range c {
+			if a.Get(l.Var()) != cnf.Unassigned {
+				continue
+			}
+			if l.IsNeg() {
+				neg[l.Var()]++
+			} else {
+				pos[l.Var()]++
+			}
+		}
+	}
+	best, bestScore := cnf.Var(0), -1
+	for v := 1; v <= f.NumVars; v++ {
+		score := pos[cnf.Var(v)] + neg[cnf.Var(v)]
+		if score > bestScore && a.Get(cnf.Var(v)) == cnf.Unassigned && score > 0 {
+			best, bestScore = cnf.Var(v), score
+		}
+	}
+	if best == 0 {
+		return FirstUnassigned{}.Pick(f, a)
+	}
+	val := cnf.True
+	if neg[best] > pos[best] {
+		val = cnf.False
+	}
+	return best, val
+}

@@ -1,0 +1,237 @@
+// Package gen constructs SAT instances used across the experiment suite:
+// the exact instances from the paper's examples and Figure 1, uniform
+// random k-SAT, planted-solution instances, instances with a known number
+// of satisfying assignments (for the K-scaling SNR experiment), and the
+// classic pigeonhole family for guaranteed-UNSAT workloads.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/rng"
+)
+
+// PaperUNSAT returns S_UNSAT from Section IV:
+//
+//	(x1 + x2) · (x1 + !x2) · (!x1 + x2) · (!x1 + !x2)
+//
+// the complete contradiction over two variables (0 satisfying
+// assignments, n=2, m=4).
+func PaperUNSAT() *cnf.Formula {
+	return cnf.FromClauses(
+		[]int{1, 2}, []int{1, -2}, []int{-1, 2}, []int{-1, -2},
+	)
+}
+
+// PaperSAT returns S_SAT from Section IV:
+//
+//	(x1 + x2) · (x1 + !x2) · (!x1 + x2) · (x1 + x2)
+//
+// The first clause is redundant (duplicated as the fourth) so that m=4
+// matches S_UNSAT, making the S_N traces comparable. Its unique
+// satisfying assignment is x1=1, x2=1.
+func PaperSAT() *cnf.Formula {
+	return cnf.FromClauses(
+		[]int{1, 2}, []int{1, -2}, []int{-1, 2}, []int{1, 2},
+	)
+}
+
+// PaperExample5 returns the CNF of Example 5:
+//
+//	(x1) · (x2 + !x3) · (!x1 + x3) · (x1 + !x2 + x3)
+func PaperExample5() *cnf.Formula {
+	return cnf.FromClauses(
+		[]int{1}, []int{2, -3}, []int{-1, 3}, []int{1, -2, 3},
+	)
+}
+
+// PaperExample6 returns (x1 + x2) · (!x1 + !x2), the satisfiable
+// two-variable instance of Examples 6 and 8 (satisfying minterms
+// x1·!x2 and !x1·x2).
+func PaperExample6() *cnf.Formula {
+	return cnf.FromClauses([]int{1, 2}, []int{-1, -2})
+}
+
+// PaperExample7 returns (x1) · (!x1), the minimal UNSAT instance of
+// Example 7.
+func PaperExample7() *cnf.Formula {
+	return cnf.FromClauses([]int{1}, []int{-1})
+}
+
+// RandomKSAT returns a uniform random k-SAT formula with n variables and
+// m clauses: each clause draws k distinct variables uniformly and negates
+// each independently with probability 1/2. It panics if k > n or n < 1.
+func RandomKSAT(g *rng.Xoshiro256, n, m, k int) *cnf.Formula {
+	if n < 1 || k < 1 || k > n {
+		panic(fmt.Sprintf("gen: invalid k-SAT dims n=%d k=%d", n, k))
+	}
+	f := cnf.New(n)
+	vars := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for i := 0; i < m; i++ {
+		vars = vars[:0]
+		for k2 := range used {
+			delete(used, k2)
+		}
+		for len(vars) < k {
+			v := g.Intn(n) + 1
+			if !used[v] {
+				used[v] = true
+				vars = append(vars, v)
+			}
+		}
+		c := make(cnf.Clause, k)
+		for j, v := range vars {
+			c[j] = cnf.NewLit(cnf.Var(v), g.Bool())
+		}
+		f.AddClause(c)
+	}
+	return f
+}
+
+// PlantedKSAT returns a random k-SAT formula guaranteed satisfiable by a
+// hidden assignment, along with that assignment. Each clause is resampled
+// until the planted assignment satisfies it.
+func PlantedKSAT(g *rng.Xoshiro256, n, m, k int) (*cnf.Formula, cnf.Assignment) {
+	if n < 1 || k < 1 || k > n {
+		panic(fmt.Sprintf("gen: invalid planted k-SAT dims n=%d k=%d", n, k))
+	}
+	planted := cnf.NewAssignment(n)
+	for v := 1; v <= n; v++ {
+		if g.Bool() {
+			planted.Set(cnf.Var(v), cnf.True)
+		} else {
+			planted.Set(cnf.Var(v), cnf.False)
+		}
+	}
+	f := cnf.New(n)
+	for i := 0; i < m; i++ {
+		for {
+			c := randomClause(g, n, k)
+			if planted.EvalClause(c) == cnf.True {
+				f.AddClause(c)
+				break
+			}
+		}
+	}
+	return f, planted
+}
+
+func randomClause(g *rng.Xoshiro256, n, k int) cnf.Clause {
+	used := make(map[int]bool, k)
+	c := make(cnf.Clause, 0, k)
+	for len(c) < k {
+		v := g.Intn(n) + 1
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		c = append(c, cnf.NewLit(cnf.Var(v), g.Bool()))
+	}
+	return c
+}
+
+// ExactlyK returns a formula over n variables whose satisfying
+// assignments are exactly the first k assignments in the canonical bit
+// order (AssignmentFromBits), i.e. it has exactly k models. It is built
+// by conjoining, for each excluded assignment, the blocking clause that
+// falsifies it. k must be in [0, 2^n] and n must be small enough to
+// enumerate (n <= 20).
+//
+// The construction is deliberately straightforward: the K-scaling
+// experiment (E5) needs precise model counts far more than it needs
+// compact encodings.
+func ExactlyK(n int, k uint64) *cnf.Formula {
+	if n < 1 || n > 20 {
+		panic("gen: ExactlyK requires 1 <= n <= 20")
+	}
+	total := uint64(1) << n
+	if k > total {
+		panic("gen: ExactlyK k exceeds 2^n")
+	}
+	f := cnf.New(n)
+	for bits := k; bits < total; bits++ {
+		c := make(cnf.Clause, n)
+		for v := 1; v <= n; v++ {
+			// Block assignment `bits`: the clause is false exactly there.
+			if bits&(1<<(v-1)) != 0 {
+				c[v-1] = cnf.Neg(cnf.Var(v))
+			} else {
+				c[v-1] = cnf.Pos(cnf.Var(v))
+			}
+		}
+		f.AddClause(c)
+	}
+	if k == total {
+		// No blocking clauses: every assignment satisfies the empty
+		// conjunction. Add a tautology so m >= 1 and the NBL encoding is
+		// well-formed.
+		f.Add(1, -1)
+	}
+	return f
+}
+
+// Pigeonhole returns PHP(h+1, h): h+1 pigeons into h holes, the classic
+// provably-UNSAT family. Variable p_{i,j} (pigeon i in hole j) is
+// variable (i-1)*holes + j. Clauses: each pigeon sits somewhere; no two
+// pigeons share a hole.
+func Pigeonhole(holes int) *cnf.Formula {
+	if holes < 1 {
+		panic("gen: Pigeonhole requires holes >= 1")
+	}
+	pigeons := holes + 1
+	v := func(i, j int) int { return (i-1)*holes + j }
+	f := cnf.New(pigeons * holes)
+	for i := 1; i <= pigeons; i++ {
+		c := make(cnf.Clause, holes)
+		for j := 1; j <= holes; j++ {
+			c[j-1] = cnf.Pos(cnf.Var(v(i, j)))
+		}
+		f.AddClause(c)
+	}
+	for j := 1; j <= holes; j++ {
+		for i1 := 1; i1 <= pigeons; i1++ {
+			for i2 := i1 + 1; i2 <= pigeons; i2++ {
+				f.Add(-v(i1, j), -v(i2, j))
+			}
+		}
+	}
+	return f
+}
+
+// AllSAT2Var enumerates every CNF over 2 variables with clauses drawn
+// from the 8 nonempty, non-tautological 1- and 2-literal clauses, up to
+// maxClauses clauses. It is used by exhaustive cross-validation tests.
+// The callback receives each formula; enumeration stops if it returns
+// false.
+func AllSAT2Var(maxClauses int, visit func(*cnf.Formula) bool) {
+	pool := []cnf.Clause{
+		cnf.NewClause(1), cnf.NewClause(-1),
+		cnf.NewClause(2), cnf.NewClause(-2),
+		cnf.NewClause(1, 2), cnf.NewClause(1, -2),
+		cnf.NewClause(-1, 2), cnf.NewClause(-1, -2),
+	}
+	var rec func(start int, cur []cnf.Clause) bool
+	rec = func(start int, cur []cnf.Clause) bool {
+		if len(cur) > 0 {
+			f := cnf.New(2)
+			for _, c := range cur {
+				f.AddClause(c.Clone())
+			}
+			if !visit(f) {
+				return false
+			}
+		}
+		if len(cur) == maxClauses {
+			return true
+		}
+		for i := start; i < len(pool); i++ {
+			if !rec(i, append(cur, pool[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, nil)
+}

@@ -1,0 +1,196 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/rng"
+)
+
+// bruteCount enumerates all assignments; local helper to avoid importing
+// internal/count (which itself tests against this package).
+func bruteCount(f *cnf.Formula) int {
+	n := f.NumVars
+	count := 0
+	for bits := uint64(0); bits < 1<<n; bits++ {
+		if cnf.AssignmentFromBits(bits, n).Satisfies(f) {
+			count++
+		}
+	}
+	return count
+}
+
+func TestPaperInstances(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       *cnf.Formula
+		n, m    int
+		nModels int
+	}{
+		{"S_UNSAT", PaperUNSAT(), 2, 4, 0},
+		{"S_SAT", PaperSAT(), 2, 4, 1},
+		{"Example5", PaperExample5(), 3, 4, 1},
+		{"Example6", PaperExample6(), 2, 2, 2},
+		{"Example7", PaperExample7(), 1, 2, 0},
+	}
+	for _, c := range cases {
+		if c.f.NumVars != c.n || c.f.NumClauses() != c.m {
+			t.Errorf("%s dims: got (%d,%d), want (%d,%d)",
+				c.name, c.f.NumVars, c.f.NumClauses(), c.n, c.m)
+		}
+		if got := bruteCount(c.f); got != c.nModels {
+			t.Errorf("%s model count = %d, want %d", c.name, got, c.nModels)
+		}
+	}
+}
+
+func TestPaperSATUniqueModel(t *testing.T) {
+	// The satisfying assignment of S_SAT is x1=1, x2=1.
+	a := cnf.AssignmentFromBools([]bool{true, true})
+	if !a.Satisfies(PaperSAT()) {
+		t.Error("x1=1,x2=1 must satisfy S_SAT")
+	}
+}
+
+func TestPaperExample5Model(t *testing.T) {
+	// (x1)(x2+!x3)(!x1+x3)(x1+!x2+x3): x1=1 forces x3=1 forces nothing on
+	// x2 except clause 2: x2+!x3 with x3=1 needs x2=1. Unique model 1,1,1.
+	a := cnf.AssignmentFromBools([]bool{true, true, true})
+	if !a.Satisfies(PaperExample5()) {
+		t.Error("x1=x2=x3=1 must satisfy Example 5")
+	}
+}
+
+func TestRandomKSATShape(t *testing.T) {
+	g := rng.New(1)
+	f := RandomKSAT(g, 10, 42, 3)
+	if f.NumVars != 10 || f.NumClauses() != 42 {
+		t.Fatalf("dims: %d vars %d clauses", f.NumVars, f.NumClauses())
+	}
+	for i, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause %d has %d literals", i, len(c))
+		}
+		seen := map[cnf.Var]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Fatalf("clause %d repeats variable %d", i, l.Var())
+			}
+			seen[l.Var()] = true
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomKSATDeterministicBySeed(t *testing.T) {
+	a := RandomKSAT(rng.New(9), 8, 20, 3)
+	b := RandomKSAT(rng.New(9), 8, 20, 3)
+	if a.String() != b.String() {
+		t.Error("same seed must give same formula")
+	}
+}
+
+func TestRandomKSATPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	RandomKSAT(rng.New(1), 2, 1, 3)
+}
+
+func TestPlantedKSATIsSatisfiable(t *testing.T) {
+	g := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		f, planted := PlantedKSAT(g, 12, 50, 3)
+		if !planted.Satisfies(f) {
+			t.Fatalf("trial %d: planted assignment does not satisfy formula", trial)
+		}
+	}
+}
+
+func TestExactlyKModelCounts(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		for k := uint64(0); k <= 1<<n; k++ {
+			f := ExactlyK(n, k)
+			if got := bruteCount(f); got != int(k) {
+				t.Errorf("ExactlyK(%d,%d) has %d models", n, k, got)
+			}
+		}
+	}
+}
+
+func TestExactlyKFirstModelsAreCanonical(t *testing.T) {
+	f := ExactlyK(3, 3)
+	for bits := uint64(0); bits < 8; bits++ {
+		sat := cnf.AssignmentFromBits(bits, 3).Satisfies(f)
+		if sat != (bits < 3) {
+			t.Errorf("assignment %03b: sat=%v, want %v", bits, sat, bits < 3)
+		}
+	}
+}
+
+func TestExactlyKPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ExactlyK(0, 0) },
+		func() { ExactlyK(21, 0) },
+		func() { ExactlyK(2, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPigeonholeUNSAT(t *testing.T) {
+	for holes := 1; holes <= 3; holes++ {
+		f := Pigeonhole(holes)
+		if got := bruteCount(f); got != 0 {
+			t.Errorf("PHP(%d+1,%d) has %d models, want 0", holes, holes, got)
+		}
+	}
+}
+
+func TestPigeonholeDims(t *testing.T) {
+	f := Pigeonhole(3) // 4 pigeons, 3 holes
+	if f.NumVars != 12 {
+		t.Errorf("NumVars = %d, want 12", f.NumVars)
+	}
+	// 4 pigeon clauses + 3 holes * C(4,2)=6 pair clauses = 22.
+	if f.NumClauses() != 22 {
+		t.Errorf("NumClauses = %d, want 22", f.NumClauses())
+	}
+}
+
+func TestAllSAT2VarEnumerates(t *testing.T) {
+	seen := 0
+	AllSAT2Var(2, func(f *cnf.Formula) bool {
+		seen++
+		if f.NumVars != 2 || f.NumClauses() < 1 || f.NumClauses() > 2 {
+			t.Fatalf("unexpected formula %s", f)
+		}
+		return true
+	})
+	// 8 single-clause formulas + C(8,2)+8 = 36 two-clause multisets.
+	if seen != 44 {
+		t.Errorf("enumerated %d formulas, want 44", seen)
+	}
+}
+
+func TestAllSAT2VarEarlyStop(t *testing.T) {
+	seen := 0
+	AllSAT2Var(3, func(*cnf.Formula) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Errorf("early stop visited %d, want 5", seen)
+	}
+}

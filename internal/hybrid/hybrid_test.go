@@ -1,0 +1,134 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/count"
+	"repro/internal/dpll"
+	"repro/internal/gen"
+	"repro/internal/noise"
+	"repro/internal/rng"
+)
+
+func TestSolveExactPaperInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *cnf.Formula
+		sat  bool
+	}{
+		{"S_SAT", gen.PaperSAT(), true},
+		{"S_UNSAT", gen.PaperUNSAT(), false},
+		{"Example5", gen.PaperExample5(), true},
+		{"Example6", gen.PaperExample6(), true},
+		{"Example7", gen.PaperExample7(), false},
+	}
+	for _, c := range cases {
+		r := SolveExact(c.f)
+		if r.Satisfiable != c.sat {
+			t.Errorf("%s: got %v, want %v", c.name, r.Satisfiable, c.sat)
+		}
+		if r.Satisfiable && !r.Assignment.Satisfies(c.f) {
+			t.Errorf("%s: non-model returned", c.name)
+		}
+	}
+}
+
+func TestSolveExactAgainstOracle(t *testing.T) {
+	g := rng.New(61)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + g.Intn(6)
+		f := gen.RandomKSAT(g, n, 1+g.Intn(4*n), 1+g.Intn(minInt(3, n)))
+		want := count.Brute(f) > 0
+		r := SolveExact(f)
+		if r.Satisfiable != want {
+			t.Fatalf("trial %d: hybrid=%v oracle=%v\n%s", trial, r.Satisfiable, want, f)
+		}
+		if r.Satisfiable && !r.Assignment.Satisfies(f) {
+			t.Fatalf("trial %d: non-model", trial)
+		}
+	}
+}
+
+func TestExactGuidanceNeedsNoBacktracking(t *testing.T) {
+	// With a perfect coprocessor, every decision lands in a satisfiable
+	// subspace, so a satisfiable instance is solved without backtracks
+	// (the paper's efficiency argument for the hybrid).
+	g := rng.New(67)
+	for trial := 0; trial < 10; trial++ {
+		f, _ := gen.PlantedKSAT(g, 10, 25, 3)
+		r := SolveExact(f)
+		if !r.Satisfiable {
+			t.Fatalf("trial %d: planted instance must be SAT", trial)
+		}
+		if r.DPLL.Backtracks != 0 {
+			t.Errorf("trial %d: %d backtracks with exact guidance, want 0",
+				trial, r.DPLL.Backtracks)
+		}
+	}
+}
+
+func TestExactProbesAreCounted(t *testing.T) {
+	r := SolveExact(gen.PaperExample6())
+	if r.Probes == 0 {
+		t.Error("coprocessor probes not counted")
+	}
+}
+
+func TestBrancherCandidateCap(t *testing.T) {
+	f := gen.PaperExample5()
+	cop := &Exact{F: f}
+	b := &Brancher{Cop: cop, Candidates: 1}
+	s := dpll.New(f, b)
+	a, ok := s.Solve()
+	if !ok || !a.Satisfies(f) {
+		t.Error("capped brancher failed")
+	}
+}
+
+func TestSolveMCSmallInstance(t *testing.T) {
+	// The simulated (finite-sample) coprocessor on Example 6. nm = 4, so
+	// modest budgets give reliable probes.
+	r, err := SolveMC(gen.PaperExample6(), core.Options{
+		Family:     noise.UniformUnit,
+		Seed:       3,
+		MaxSamples: 300_000,
+		MinSamples: 50_000,
+		CheckEvery: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Satisfiable || !r.Assignment.Satisfies(gen.PaperExample6()) {
+		t.Errorf("hybrid MC failed: %+v", r)
+	}
+	if r.Probes == 0 {
+		t.Error("MC probes not counted")
+	}
+}
+
+func TestSolveMCPropagatesError(t *testing.T) {
+	if _, err := SolveMC(cnf.New(0), core.Options{}); err == nil {
+		t.Error("expected constructor error for empty formula")
+	}
+}
+
+func TestBrancherFallsBackOnZeroMeans(t *testing.T) {
+	// On an UNSAT instance every probe returns 0; Pick must fall back to
+	// the syntactic heuristic rather than loop or panic.
+	f := gen.PaperUNSAT()
+	b := &Brancher{Cop: &Exact{F: f}}
+	a := cnf.NewAssignment(f.NumVars)
+	v, _ := b.Pick(f, a)
+	if v < 1 || int(v) > f.NumVars {
+		t.Errorf("fallback pick returned variable %d", v)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

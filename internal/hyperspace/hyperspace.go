@@ -1,0 +1,192 @@
+// Package hyperspace evaluates the noise-based logic hyperspace objects
+// of Section III of the paper on a per-sample basis:
+//
+//   - tau_N (Equation 2): the additive superposition of all 2^n valid
+//     noise minterms, each variable contributing the product of its
+//     literal's sources across all m clauses;
+//   - T^j_l: the cube subspace of literal l restricted to clause j's
+//     sources (Section III-B's binding construction);
+//   - Z_j: the disjunction (sum) of T^j_l over the literals of clause j;
+//   - Sigma_N: the conjunction (product) of the Z_j;
+//   - S_N = tau_N * Sigma_N: the decision statistic of Algorithm 1.
+//
+// A naive expansion of these superpositions is exponential; the whole
+// point of the NBL construction is that the *factored* forms above are
+// linear in n·m per sample. Evaluator computes one sample of S_N in
+// O(n·m) time and O(n·m) space using prefix/suffix products, supporting
+// the variable bindings that Algorithm 2 applies to tau_N.
+package hyperspace
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// SampleSource supplies one sample of every basis source per Fill call.
+// noise.Bank is the stochastic implementation; the sbl package provides
+// a deterministic sinusoid-carrier implementation (Section V's SBL).
+type SampleSource interface {
+	// Fill writes the next sample of the positive- and negative-literal
+	// sources into pos and neg (layout [var*m+clause], 0-based).
+	Fill(pos, neg []float64)
+	// Dims returns the (variables, clauses) geometry of the source set.
+	Dims() (n, m int)
+}
+
+// Evaluator computes per-sample values of the NBL-SAT hyperspace objects
+// for a fixed formula and sample source. It is not safe for concurrent
+// use; the Monte-Carlo engine gives each worker its own Evaluator.
+type Evaluator struct {
+	f    *cnf.Formula
+	bank SampleSource
+	n, m int
+
+	// bound[v] constrains variable v in tau_N (Algorithm 2, line 4/8):
+	// True keeps only the positive-literal branch, False only the
+	// negative one, Unassigned keeps the sum of both.
+	bound cnf.Assignment
+
+	// Per-sample scratch: pos/neg hold the bank sample matrix
+	// ([i*m+j] for 0-based variable i, clause j); prodPos/prodNeg hold
+	// per-variable products across clauses; pre/suf hold prefix/suffix
+	// products of clause factor terms.
+	pos, neg         []float64
+	prodPos, prodNeg []float64
+	pre, suf         []float64
+}
+
+// New returns an Evaluator for formula f drawing samples from bank.
+// The bank's dimensions must match the formula.
+func New(f *cnf.Formula, bank SampleSource) *Evaluator {
+	n, m := bank.Dims()
+	if n != f.NumVars || m != f.NumClauses() {
+		panic(fmt.Sprintf("hyperspace: bank dims (%d,%d) do not match formula (%d,%d)",
+			n, m, f.NumVars, f.NumClauses()))
+	}
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	nm := n * m
+	return &Evaluator{
+		f: f, bank: bank, n: n, m: m,
+		bound:   cnf.NewAssignment(n),
+		pos:     make([]float64, nm),
+		neg:     make([]float64, nm),
+		prodPos: make([]float64, n),
+		prodNeg: make([]float64, n),
+		pre:     make([]float64, n+1),
+		suf:     make([]float64, n+1),
+	}
+}
+
+// Bind constrains variable v to val in tau_N. Binding to Unassigned
+// removes the constraint. This mirrors Algorithm 2's construction of the
+// reduced hyperspace tau^red_N; Sigma_N is never modified.
+func (e *Evaluator) Bind(v cnf.Var, val cnf.Value) {
+	if int(v) < 1 || int(v) > e.n {
+		panic(fmt.Sprintf("hyperspace: Bind variable %d outside 1..%d", v, e.n))
+	}
+	e.bound[v] = val
+}
+
+// BindAll replaces all bindings with those of a (which must cover the
+// formula's variables).
+func (e *Evaluator) BindAll(a cnf.Assignment) {
+	for v := 1; v <= e.n; v++ {
+		e.bound[v] = a.Get(cnf.Var(v))
+	}
+}
+
+// Bindings returns a copy of the current binding assignment.
+func (e *Evaluator) Bindings() cnf.Assignment { return e.bound.Clone() }
+
+// Sample holds the per-sample values of the hyperspace objects.
+type Sample struct {
+	Tau   float64 // tau_N(t), possibly reduced by bindings
+	Sigma float64 // Sigma_N(t)
+	S     float64 // S_N(t) = Tau * Sigma
+}
+
+// Step draws one sample from every noise source and evaluates the
+// hyperspace objects.
+func (e *Evaluator) Step() Sample {
+	e.bank.Fill(e.pos, e.neg)
+	return e.eval()
+}
+
+// eval computes the sample values from the current pos/neg matrices.
+func (e *Evaluator) eval() Sample {
+	n, m := e.n, e.m
+
+	// Per-variable products across clauses:
+	//   prodPos[i] = prod_j N^j_{x_{i+1}},  prodNeg[i] = prod_j N^j_{!x_{i+1}}.
+	for i := 0; i < n; i++ {
+		pp, pn := 1.0, 1.0
+		row := i * m
+		for j := 0; j < m; j++ {
+			pp *= e.pos[row+j]
+			pn *= e.neg[row+j]
+		}
+		e.prodPos[i] = pp
+		e.prodNeg[i] = pn
+	}
+
+	// tau_N = prod_i (branch selected by binding).
+	tau := 1.0
+	for i := 0; i < n; i++ {
+		switch e.bound[i+1] {
+		case cnf.True:
+			tau *= e.prodPos[i]
+		case cnf.False:
+			tau *= e.prodNeg[i]
+		default:
+			tau *= e.prodPos[i] + e.prodNeg[i]
+		}
+	}
+
+	// Sigma_N = prod_j Z_j with
+	//   Z_j = sum_{l in c_j} T^j_l,
+	//   T^j_l = L_{v(l),j} * prod_{k != v(l)} (pos[k,j] + neg[k,j]).
+	// The "leave-one-out" products come from prefix/suffix arrays over
+	// the clause's variable factors g_k = pos[k,j] + neg[k,j].
+	sigma := 1.0
+	for j := 0; j < m; j++ {
+		e.pre[0] = 1
+		for k := 0; k < n; k++ {
+			e.pre[k+1] = e.pre[k] * (e.pos[k*m+j] + e.neg[k*m+j])
+		}
+		e.suf[n] = 1
+		for k := n - 1; k >= 0; k-- {
+			e.suf[k] = e.suf[k+1] * (e.pos[k*m+j] + e.neg[k*m+j])
+		}
+		z := 0.0
+		for _, l := range e.f.Clauses[j] {
+			k := int(l.Var()) - 1
+			lit := e.pos[k*m+j]
+			if l.IsNeg() {
+				lit = e.neg[k*m+j]
+			}
+			z += lit * e.pre[k] * e.suf[k+1]
+		}
+		sigma *= z
+	}
+
+	return Sample{Tau: tau, Sigma: sigma, S: tau * sigma}
+}
+
+// TauMintermCount returns the number of noise minterms in the (reduced)
+// hyperspace: 2^(free variables). It is the paper's |tau_N| and shrinks
+// by half per binding.
+func (e *Evaluator) TauMintermCount() uint64 {
+	free := 0
+	for v := 1; v <= e.n; v++ {
+		if e.bound[v] == cnf.Unassigned {
+			free++
+		}
+	}
+	return 1 << uint(free)
+}
+
+// Dims returns the formula dimensions (n variables, m clauses).
+func (e *Evaluator) Dims() (n, m int) { return e.n, e.m }

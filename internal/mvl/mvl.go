@@ -1,0 +1,188 @@
+// Package mvl implements multi-valued noise-based logic, the
+// generalization the paper notes in Section I ("NBL can be utilized to
+// realize multi-valued logic as well [15], [16]"): each of n digits
+// takes one of d values, a digit value is represented by its own
+// orthogonal basis source, and a word is the product of its digits'
+// sources — a d-ary hyperspace element. The additive superposition of
+// any subset of the d^n words travels on a single wire and membership
+// is read back by correlation, exactly as in the binary wire package
+// (which is the d = 2 special case).
+package mvl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// System is an n-digit, d-valued noise logic system.
+type System struct {
+	n, d int
+	fam  noise.Family
+	seed uint64
+}
+
+// Limits keep word enumeration and per-sample cost sane.
+const (
+	maxDigits = 16
+	maxRadix  = 16
+)
+
+// New returns a system with n digits of radix d.
+func New(n, d int, fam noise.Family, seed uint64) (*System, error) {
+	if n < 1 || n > maxDigits {
+		return nil, fmt.Errorf("mvl: digits must be in 1..%d, got %d", maxDigits, n)
+	}
+	if d < 2 || d > maxRadix {
+		return nil, fmt.Errorf("mvl: radix must be in 2..%d, got %d", maxRadix, d)
+	}
+	return &System{n: n, d: d, fam: fam, seed: seed}, nil
+}
+
+// Digits returns n.
+func (s *System) Digits() int { return s.n }
+
+// Radix returns d.
+func (s *System) Radix() int { return s.d }
+
+// Words returns the hyperspace cardinality d^n.
+func (s *System) Words() uint64 {
+	w := uint64(1)
+	for i := 0; i < s.n; i++ {
+		w *= uint64(s.d)
+	}
+	return w
+}
+
+// validate checks a word's shape and digit range.
+func (s *System) validate(word []int) error {
+	if len(word) != s.n {
+		return fmt.Errorf("mvl: word has %d digits, system has %d", len(word), s.n)
+	}
+	for i, v := range word {
+		if v < 0 || v >= s.d {
+			return fmt.Errorf("mvl: digit %d value %d outside 0..%d", i, v, s.d-1)
+		}
+	}
+	return nil
+}
+
+// Signal is a sampled superposition of words. Signals from one System
+// share their basis source streams sample-for-sample.
+type Signal struct {
+	sys   *System
+	srcs  []noise.Source // n*d sources, index digit*d + value
+	words [][]int
+	vals  []float64
+}
+
+// Encode returns the superposition of the given words.
+func (s *System) Encode(words [][]int) (*Signal, error) {
+	copied := make([][]int, len(words))
+	for i, w := range words {
+		if err := s.validate(w); err != nil {
+			return nil, err
+		}
+		copied[i] = append([]int(nil), w...)
+	}
+	srcs := make([]noise.Source, s.n*s.d)
+	for i := range srcs {
+		srcs[i] = noise.NewSource(s.fam, s.seed, uint64(i))
+	}
+	return &Signal{
+		sys:   s,
+		srcs:  srcs,
+		words: copied,
+		vals:  make([]float64, s.n*s.d),
+	}, nil
+}
+
+// Next returns the next sample of the superposition.
+func (sig *Signal) Next() float64 {
+	for i, src := range sig.srcs {
+		sig.vals[i] = src.Next()
+	}
+	total := 0.0
+	for _, w := range sig.words {
+		p := 1.0
+		for digit, v := range w {
+			p *= sig.vals[digit*sig.sys.d+v]
+		}
+		total += p
+	}
+	return total
+}
+
+// Membership is the result of a Contains query (see wire.Membership).
+type Membership struct {
+	Present     bool
+	Correlation float64 // normalized: multiplicity of the query word
+	ZScore      float64
+	Samples     int64
+}
+
+// Contains tests membership of query in the superposition of words by
+// correlation over the given number of samples.
+func (s *System) Contains(words [][]int, query []int, samples int64, theta float64) (Membership, error) {
+	if err := s.validate(query); err != nil {
+		return Membership{}, err
+	}
+	sig, err := s.Encode(words)
+	if err != nil {
+		return Membership{}, err
+	}
+	ref, err := s.Encode([][]int{query})
+	if err != nil {
+		return Membership{}, err
+	}
+	var acc stats.Welford
+	for i := int64(0); i < samples; i++ {
+		acc.Add(sig.Next() * ref.Next())
+	}
+	norm := math.Pow(s.fam.Sigma2(), float64(s.n))
+	se := acc.StdErr()
+	z := 0.0
+	if se > 0 && !math.IsInf(se, 0) {
+		z = acc.Mean() / se
+	} else if acc.Mean() > 0 {
+		z = math.Inf(1)
+	}
+	return Membership{
+		Present:     z > theta,
+		Correlation: acc.Mean() / norm,
+		ZScore:      z,
+		Samples:     acc.Count(),
+	}, nil
+}
+
+// ReadDigit recovers digit `pos` of a superposition known to carry a
+// single word: it queries the d candidate values of that digit with the
+// other digits marginalized (summed over), returning the value whose
+// correlation is highest. This is the multi-valued read-out primitive
+// of ref [14].
+func (s *System) ReadDigit(word []int, pos int, samples int64) (int, error) {
+	if err := s.validate(word); err != nil {
+		return 0, err
+	}
+	if pos < 0 || pos >= s.n {
+		return 0, fmt.Errorf("mvl: digit position %d outside 0..%d", pos, s.n-1)
+	}
+	best, bestCorr := -1, math.Inf(-1)
+	for v := 0; v < s.d; v++ {
+		// Reference: the word with digit pos replaced by candidate v and
+		// all other digits as transmitted. Correlating against the full
+		// candidate word isolates the digit: only v == word[pos] matches.
+		cand := append([]int(nil), word...)
+		cand[pos] = v
+		m, err := s.Contains([][]int{word}, cand, samples, 0)
+		if err != nil {
+			return 0, err
+		}
+		if m.Correlation > bestCorr {
+			best, bestCorr = v, m.Correlation
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,158 @@
+package mvl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		n, d int
+		ok   bool
+	}{
+		{1, 2, true}, {16, 16, true},
+		{0, 2, false}, {17, 2, false}, {2, 1, false}, {2, 17, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.n, c.d, noise.RTW, 1)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d): err=%v, want ok=%v", c.n, c.d, err, c.ok)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	s, err := New(3, 5, noise.RTW, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Digits() != 3 || s.Radix() != 5 || s.Words() != 125 {
+		t.Errorf("geometry: %d digits radix %d words %d", s.Digits(), s.Radix(), s.Words())
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	s, _ := New(2, 3, noise.RTW, 1)
+	if _, err := s.Encode([][]int{{0}}); err == nil {
+		t.Error("short word accepted")
+	}
+	if _, err := s.Encode([][]int{{0, 3}}); err == nil {
+		t.Error("digit out of radix accepted")
+	}
+	if _, err := s.Contains(nil, []int{0, 5}, 10, 3); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestTernaryMembership(t *testing.T) {
+	// 2 ternary digits: transmit {02, 10, 21}; every word queries
+	// correctly.
+	s, err := New(2, 3, noise.RTW, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := [][]int{{0, 2}, {1, 0}, {2, 1}}
+	inSet := func(a, b int) bool {
+		for _, w := range set {
+			if w[0] == a && w[1] == b {
+				return true
+			}
+		}
+		return false
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			m, err := s.Contains(set, []int{a, b}, 50_000, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Present != inSet(a, b) {
+				t.Errorf("word %d%d: present=%v want %v (corr %.3f)", a, b, m.Present, inSet(a, b), m.Correlation)
+			}
+		}
+	}
+}
+
+func TestCorrelationNormalization(t *testing.T) {
+	for _, fam := range []noise.Family{noise.RTW, noise.UniformUnit, noise.UniformHalf} {
+		s, _ := New(2, 4, fam, 9)
+		m, err := s.Contains([][]int{{3, 1}}, []int{3, 1}, 150_000, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Correlation-1) > 0.2 {
+			t.Errorf("%v: normalized correlation %v, want ~1", fam, m.Correlation)
+		}
+	}
+}
+
+func TestReadDigit(t *testing.T) {
+	s, err := New(3, 4, noise.RTW, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := []int{2, 0, 3}
+	for pos := 0; pos < 3; pos++ {
+		got, err := s.ReadDigit(word, pos, 40_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != word[pos] {
+			t.Errorf("digit %d: read %d, want %d", pos, got, word[pos])
+		}
+	}
+	if _, err := s.ReadDigit(word, 5, 100); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if _, err := s.ReadDigit([]int{9, 9, 9}, 0, 100); err == nil {
+		t.Error("invalid word accepted")
+	}
+}
+
+func TestBinaryCaseMatchesWireSemantics(t *testing.T) {
+	// d=2 reduces to the binary wire: transmit {01}, check membership.
+	s, _ := New(2, 2, noise.UniformUnit, 13)
+	in, err := s.Contains([][]int{{0, 1}}, []int{0, 1}, 150_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Contains([][]int{{0, 1}}, []int{1, 0}, 150_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Present || out.Present {
+		t.Errorf("binary special case broken: in=%v out=%v", in.Present, out.Present)
+	}
+}
+
+func TestEmptySuperposition(t *testing.T) {
+	s, _ := New(2, 3, noise.RTW, 17)
+	m, err := s.Contains(nil, []int{1, 1}, 20_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Present {
+		t.Error("empty superposition claims membership")
+	}
+}
+
+func TestEncodeCopiesWords(t *testing.T) {
+	s, _ := New(2, 3, noise.RTW, 19)
+	w := []int{1, 2}
+	sig, err := s.Encode([][]int{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w[0] = 0 // mutate caller's slice
+	_ = sig.Next()
+	// Re-encode the original word and compare streams: if Encode had
+	// aliased the slice, the mutation would desynchronize the signals.
+	sig2, _ := s.Encode([][]int{{1, 2}})
+	sig2.Next() // advance to sample 2 alignment
+	a, b := sig.Next(), sig2.Next()
+	if a != b {
+		t.Error("Encode aliased the caller's word slice")
+	}
+}

@@ -1,0 +1,124 @@
+package noise
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Bank is the full complement of 2·m·n independent basis noise sources
+// required by the NBL-SAT transformation of Section III-C: for each of
+// the n variables and each of the m clauses, one source for the positive
+// literal (N^j_{x_i}) and one for the negative literal (N^j_{!x_i}).
+//
+// Bank bypasses the Source interface for throughput: Fill draws one
+// sample from every source directly into caller-provided matrices, which
+// is the hot path of the Monte-Carlo engine (2·n·m draws per S_N sample).
+type Bank struct {
+	family Family
+	n, m   int
+	// gens holds one generator per source; index layout is
+	// (var*m + clause)*2 + polarity with var, clause 0-based and
+	// polarity 0 for the positive literal, 1 for the negative.
+	gens []rng.Xoshiro256
+	lo   float64 // uniform parameters, unused for other families
+	span float64
+}
+
+// NewBank creates the source bank for an instance with n variables and m
+// clauses. Each source's stream is derived from the experiment seed and
+// the source's (variable, clause, polarity) coordinates, so any two banks
+// with the same arguments produce identical sample sequences.
+func NewBank(f Family, seed uint64, n, m int) *Bank {
+	if n < 1 || m < 1 {
+		panic("noise: bank requires n >= 1 and m >= 1")
+	}
+	b := &Bank{family: f, n: n, m: m, gens: make([]rng.Xoshiro256, 2*n*m)}
+	switch f {
+	case UniformHalf:
+		b.lo, b.span = -0.5, 1
+	case UniformUnit:
+		b.lo, b.span = -sqrt3, 2*sqrt3
+	}
+	for idx := range b.gens {
+		b.gens[idx] = *rng.NewStream(seed, uint64(idx))
+	}
+	return b
+}
+
+// Family returns the bank's source family.
+func (b *Bank) Family() Family { return b.family }
+
+// Dims returns (n, m).
+func (b *Bank) Dims() (n, m int) { return b.n, b.m }
+
+// Fill draws one sample from every source. pos and neg must each have
+// length n*m; entry [i*m+j] receives the sample of the positive
+// (respectively negative) literal source of variable i+1 in clause j.
+func (b *Bank) Fill(pos, neg []float64) {
+	nm := b.n * b.m
+	if len(pos) != nm || len(neg) != nm {
+		panic("noise: Fill buffer length must be n*m")
+	}
+	switch b.family {
+	case UniformHalf, UniformUnit:
+		for k := 0; k < nm; k++ {
+			pos[k] = b.lo + b.span*b.gens[2*k].Float64()
+			neg[k] = b.lo + b.span*b.gens[2*k+1].Float64()
+		}
+	case Gaussian:
+		for k := 0; k < nm; k++ {
+			pos[k] = b.gens[2*k].Norm()
+			neg[k] = b.gens[2*k+1].Norm()
+		}
+	case RTW:
+		for k := 0; k < nm; k++ {
+			pos[k] = rtwVal(&b.gens[2*k])
+			neg[k] = rtwVal(&b.gens[2*k+1])
+		}
+	case Pulse:
+		for k := 0; k < nm; k++ {
+			pos[k] = pulseVal(&b.gens[2*k])
+			neg[k] = pulseVal(&b.gens[2*k+1])
+		}
+	default:
+		panic("noise: unknown family")
+	}
+}
+
+func pulseVal(g *rng.Xoshiro256) float64 {
+	if g.Float64() >= pulseDensity {
+		return 0
+	}
+	if g.Uint64()&1 == 1 {
+		return pulseAmp
+	}
+	return -pulseAmp
+}
+
+func rtwVal(g *rng.Xoshiro256) float64 {
+	if g.Uint64()&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// SourceAt returns a standalone Source replaying the stream of the bank
+// source for (variable, clause, polarity), with variable and clause
+// 1-based and negative polarity selected by neg. Useful for
+// independence audits; it does not share state with the bank.
+func (b *Bank) SourceAt(seed uint64, variable, clause int, neg bool) Source {
+	idx := ((variable-1)*b.m + (clause - 1)) * 2
+	if neg {
+		idx++
+	}
+	return NewSource(b.family, seed, uint64(idx))
+}
+
+// MaxProductMagnitude estimates the magnitude scale of a full noise
+// minterm product (2·n·m factors) for the family, used to warn about
+// float64 underflow: uniform-half factors shrink the product by 1/12 per
+// squared factor while unit-variance families hold it near 1.
+func (b *Bank) MaxProductMagnitude() float64 {
+	return math.Pow(b.family.Sigma2(), float64(b.n*b.m))
+}

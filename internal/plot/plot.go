@@ -1,0 +1,168 @@
+// Package plot renders simple line charts as standalone SVG documents
+// using only the standard library. It exists so the experiment harness
+// can regenerate the paper's Figure 1 as an actual figure, not just a
+// table (cmd/nblfig1 -svg).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Color string // CSS color; defaults assigned if empty
+}
+
+// Chart is a collection of series with axes and a title.
+type Chart struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int // pixels; defaults 720x440
+	Series        []Series
+}
+
+var defaultColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+
+// Add appends a series.
+func (c *Chart) Add(name string, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("plot: series %q has %d x values and %d y values", name, len(x), len(y)))
+	}
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+// bounds returns the data range across all series, padded slightly, and
+// always including y = 0 (the UNSAT reference line of Figure 1).
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	ymin = 0
+	ymax = 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := 0.05 * (ymax - ymin)
+	lo := ymin - pad
+	if ymin >= 0 && lo < 0 {
+		lo = 0 // keep all-positive data resting on the zero axis
+	}
+	return xmin, xmax, lo, ymax + pad
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 440
+	}
+	const (
+		left, right, top, bottom = 70, 20, 40, 50
+	)
+	pw, ph := float64(w-left-right), float64(h-top-bottom)
+	xmin, xmax, ymin, ymax := c.bounds()
+	sx := func(x float64) float64 { return float64(left) + pw*(x-xmin)/(xmax-xmin) }
+	sy := func(y float64) float64 { return float64(top) + ph*(1-(y-ymin)/(ymax-ymin)) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n", w/2, escape(c.Title))
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		sx(xmin), sy(ymin), sx(xmax), sy(ymin))
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		sx(xmin), sy(ymin), sx(xmin), sy(ymax))
+	// Zero line if it is inside the range.
+	if ymin < 0 && ymax > 0 {
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#bbbbbb" stroke-dasharray="4 3"/>`+"\n",
+			sx(xmin), sy(0), sx(xmax), sy(0))
+	}
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := xmin + (xmax-xmin)*float64(i)/4
+		yv := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			sx(xv), sy(ymin), sx(xv), sy(ymin)+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			sx(xv), sy(ymin)+18, fmtTick(xv))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			sx(xmin)-5, sy(yv), sx(xmin), sy(yv))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			sx(xmin)-8, sy(yv)+4, fmtTick(yv))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			left+int(pw/2), h-10, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			top+int(ph/2), top+int(ph/2), escape(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[si%len(defaultColors)]
+		}
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend entry.
+		ly := top + 16 + 18*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			w-right-150, ly, w-right-120, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			w-right-112, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e5 || av < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	c := &Chart{Title: "S_N mean", XLabel: "samples", YLabel: "mean"}
+	c.Add("SAT", []float64{1, 2, 3}, []float64{0.5, 1.1, 1.0})
+	c.Add("UNSAT", []float64{1, 2, 3}, []float64{0.2, -0.1, 0.02})
+	svg := c.SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+	for _, want := range []string{"polyline", "SAT", "UNSAT", "samples", "S_N mean"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGIncludesZeroLine(t *testing.T) {
+	c := &Chart{}
+	c.Add("s", []float64{0, 1}, []float64{-1, 1})
+	if !strings.Contains(c.SVG(), "stroke-dasharray") {
+		t.Error("range spanning zero should draw the dashed zero line")
+	}
+	c2 := &Chart{}
+	c2.Add("s", []float64{0, 1}, []float64{1, 2})
+	// ymin forced to 0 by bounds, so 0 is the axis, not an interior line.
+	if strings.Contains(c2.SVG(), "stroke-dasharray") {
+		t.Error("zero on the axis should not duplicate the zero line")
+	}
+}
+
+func TestEmptyChartStillRenders(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart did not render an SVG document")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	c := &Chart{}
+	c.Add("flat", []float64{5, 5, 5}, []float64{2, 2, 2})
+	svg := c.SVG()
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Errorf("degenerate range produced invalid coordinates:\n%s", svg)
+	}
+}
+
+func TestAddLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Chart{}).Add("bad", []float64{1}, []float64{1, 2})
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{Title: `a < b & "c"`}
+	c.Add("s", []float64{0, 1}, []float64{0, 1})
+	svg := c.SVG()
+	if strings.Contains(svg, `a < b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp;") {
+		t.Error("escaped entities missing")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.2e+06",
+		0.5:     "0.5",
+		250:     "250",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

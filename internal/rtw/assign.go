@@ -1,0 +1,41 @@
+package rtw
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// ErrUnsat is returned by Assign when the initial check deems the
+// instance unsatisfiable.
+var ErrUnsat = errors.New("rtw: instance is unsatisfiable")
+
+// Assign implements Algorithm 2 on the RTW engine: an initial check
+// followed by one reduced check per variable, binding each variable to
+// the polarity whose subspace tests satisfiable. RTW's minimal variance
+// (kurtosis 1) makes it the cheapest family for the reduced checks.
+//
+// samplesPerCheck is the budget of each of the n+1 checks; theta the
+// decision threshold in standard errors. The engine's bindings are
+// restored to the unbound state before returning.
+func (e *Engine) Assign(samplesPerCheck int64, theta float64) (cnf.Assignment, error) {
+	defer e.BindAll(cnf.NewAssignment(e.n))
+
+	e.BindAll(cnf.NewAssignment(e.n))
+	if r := e.Check(samplesPerCheck, theta); !r.Satisfiable {
+		return nil, ErrUnsat
+	}
+	bound := cnf.NewAssignment(e.n)
+	for v := 1; v <= e.n; v++ {
+		bound.Set(cnf.Var(v), cnf.True)
+		e.BindAll(bound)
+		if r := e.Check(samplesPerCheck, theta); !r.Satisfiable {
+			bound.Set(cnf.Var(v), cnf.False)
+		}
+	}
+	if !bound.Satisfies(e.f) {
+		return bound, fmt.Errorf("rtw: recovered assignment %s does not satisfy (raise sample budget)", bound)
+	}
+	return bound, nil
+}

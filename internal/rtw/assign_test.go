@@ -1,0 +1,65 @@
+package rtw
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestAssignPaperExamples(t *testing.T) {
+	e, err := New(gen.PaperExample6(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Assign(300_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfies(gen.PaperExample6()) {
+		t.Errorf("assignment %s does not satisfy", a)
+	}
+}
+
+func TestAssignUnsat(t *testing.T) {
+	e, err := New(gen.PaperUNSAT(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assign(300_000, 4); !errors.Is(err, ErrUnsat) {
+		t.Errorf("err = %v, want ErrUnsat", err)
+	}
+}
+
+func TestAssignRestoresBindings(t *testing.T) {
+	e, err := New(gen.PaperExample6(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assign(200_000, 4); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh unbound check must still be satisfiable (bindings reset).
+	if r := e.Check(300_000, 4); !r.Satisfiable {
+		t.Errorf("post-Assign engine state corrupted: %+v", r)
+	}
+}
+
+func TestAssignPlantedInstances(t *testing.T) {
+	g := rng.New(31)
+	for trial := 0; trial < 4; trial++ {
+		f, _ := gen.PlantedKSAT(g, 3, 2, 2)
+		e, err := New(f, uint64(trial+10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Assign(500_000, 4)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, f, err)
+		}
+		if !a.Satisfies(f) {
+			t.Fatalf("trial %d: bad assignment", trial)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package rtw implements the Random-Telegraph-Wave variant of NBL-SAT
+// (Section V, reference [17] "instantaneous noise-based logic"): every
+// basis source takes values ±1, so every hyperspace quantity is an
+// integer and the engine evaluates S_N in exact int64 arithmetic.
+//
+// RTW carriers have the best decision statistics of all families — the
+// fourth moment E[X^4] = E[X^2]^2 = 1 minimizes self-correlation
+// variance (see noise.Family.Kurtosis) — and they sidestep the float64
+// underflow of the paper's U[-0.5,0.5] sources entirely, since products
+// never shrink. The E6 ablation quantifies both effects.
+package rtw
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/cnf"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// Engine is an integer-exact RTW NBL-SAT engine for one formula.
+type Engine struct {
+	f    *cnf.Formula
+	bank *noise.Bank
+	n, m int
+
+	bound cnf.Assignment
+
+	posF, negF []float64 // bank fill buffers (±1 as floats)
+	pos, neg   []int64
+	prodP      []int64
+	prodN      []int64
+	pre, suf   []int64
+}
+
+// New builds an RTW engine. It returns an error if the formula's
+// dimensions could overflow int64 in the worst case: |S_N| is bounded by
+// 2^n · prod_j(k_j · 2^(n-1)) and must stay below 2^62.
+func New(f *cnf.Formula, seed uint64) (*Engine, error) {
+	n, m := f.NumVars, f.NumClauses()
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("rtw: need n >= 1 and m >= 1, got (%d,%d)", n, m)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	bitsNeeded := n // tau bound: 2^n
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("rtw: empty clause")
+		}
+		bitsNeeded += bits.Len(uint(len(c))) + n - 1 // |Z_j| <= k_j·2^(n-1)
+	}
+	if bitsNeeded > 62 {
+		return nil, fmt.Errorf("rtw: instance needs ~%d bits, exceeds int64", bitsNeeded)
+	}
+	nm := n * m
+	return &Engine{
+		f: f, bank: noise.NewBank(noise.RTW, seed, n, m), n: n, m: m,
+		bound: cnf.NewAssignment(n),
+		posF:  make([]float64, nm), negF: make([]float64, nm),
+		pos: make([]int64, nm), neg: make([]int64, nm),
+		prodP: make([]int64, n), prodN: make([]int64, n),
+		pre: make([]int64, n+1), suf: make([]int64, n+1),
+	}, nil
+}
+
+// Bind constrains a variable in tau_N, as in Algorithm 2.
+func (e *Engine) Bind(v cnf.Var, val cnf.Value) { e.bound[v] = val }
+
+// BindAll replaces all bindings.
+func (e *Engine) BindAll(a cnf.Assignment) {
+	for v := 1; v <= e.n; v++ {
+		e.bound[v] = a.Get(cnf.Var(v))
+	}
+}
+
+// Step draws one RTW sample vector and returns the exact integer S_N(t).
+func (e *Engine) Step() int64 {
+	e.bank.Fill(e.posF, e.negF)
+	for k := range e.posF {
+		e.pos[k] = int64(e.posF[k])
+		e.neg[k] = int64(e.negF[k])
+	}
+	n, m := e.n, e.m
+
+	for i := 0; i < n; i++ {
+		pp, pn := int64(1), int64(1)
+		row := i * m
+		for j := 0; j < m; j++ {
+			pp *= e.pos[row+j]
+			pn *= e.neg[row+j]
+		}
+		e.prodP[i] = pp
+		e.prodN[i] = pn
+	}
+	tau := int64(1)
+	for i := 0; i < n; i++ {
+		switch e.bound[i+1] {
+		case cnf.True:
+			tau *= e.prodP[i]
+		case cnf.False:
+			tau *= e.prodN[i]
+		default:
+			tau *= e.prodP[i] + e.prodN[i]
+		}
+	}
+
+	sigma := int64(1)
+	for j := 0; j < m; j++ {
+		e.pre[0] = 1
+		for k := 0; k < n; k++ {
+			e.pre[k+1] = e.pre[k] * (e.pos[k*m+j] + e.neg[k*m+j])
+		}
+		e.suf[n] = 1
+		for k := n - 1; k >= 0; k-- {
+			e.suf[k] = e.suf[k+1] * (e.pos[k*m+j] + e.neg[k*m+j])
+		}
+		z := int64(0)
+		for _, l := range e.f.Clauses[j] {
+			k := int(l.Var()) - 1
+			lit := e.pos[k*m+j]
+			if l.IsNeg() {
+				lit = e.neg[k*m+j]
+			}
+			z += lit * e.pre[k] * e.suf[k+1]
+		}
+		sigma *= z
+	}
+	return tau * sigma
+}
+
+// Result reports an RTW check.
+type Result struct {
+	Satisfiable bool
+	Mean        float64
+	StdErr      float64
+	Samples     int64
+}
+
+// Check estimates mean(S_N) over the given number of samples and applies
+// the theta-standard-errors decision rule of the core engine.
+func (e *Engine) Check(samples int64, theta float64) Result {
+	var w stats.Welford
+	for i := int64(0); i < samples; i++ {
+		w.Add(float64(e.Step()))
+	}
+	se := w.StdErr()
+	sat := false
+	if se > 0 && !math.IsInf(se, 0) {
+		sat = w.Mean() > theta*se
+	} else if w.Mean() > 0 {
+		// Zero variance with a positive mean: every sample agreed.
+		sat = true
+	}
+	return Result{Satisfiable: sat, Mean: w.Mean(), StdErr: se, Samples: w.Count()}
+}

@@ -1,0 +1,225 @@
+// Package sbl implements the Sinusoid-Based Logic variant of NBL-SAT
+// discussed in Section V of the paper: the 2·n·m basis noise processes
+// are replaced by deterministic sinusoidal carriers of distinct
+// frequencies ([14], [16]), and the SAT decision reads the DC component
+// of S_N over an observation window.
+//
+// Frequency allocation is the whole game. The decision statistic is a
+// product of up to 2·n·m carriers, so every signed combination
+// sum(eps_k · f_k) with eps_k in {-2,...,2} (squares appear through the
+// self-correlation) acts as a potential alias of DC. Two allocators are
+// provided:
+//
+//   - Geometric4: f_k = 4^k · f0. A nonzero digit in the balanced
+//     base-4 expansion keeps every combination away from 0, so the DC
+//     read-out is exact over a full common period — at the cost of a
+//     bandwidth F/f0 = 4^(2nm-1). This makes rigorous the paper's
+//     observation that minimizing the spacing f "remains an open
+//     exercise": with sinusoids, collision-freedom costs exponential
+//     bandwidth.
+//   - Linear: f_k = (k+1) · f0, the allocation implicit in the paper's
+//     "F/f variables" budget. Compact, but combination frequencies
+//     collide (e.g. 2·f0 + f1 - f3 = 0 when f_k = k+1... and already
+//     2f_1 = f_2 among squares), producing spurious DC that can corrupt
+//     the decision. Experiment E7 measures exactly this tradeoff.
+package sbl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cnf"
+	"repro/internal/hyperspace"
+)
+
+// Allocation selects a carrier frequency plan.
+type Allocation int
+
+// Supported allocations.
+const (
+	// Geometric4 spaces carriers at powers of four: collision-free,
+	// exponential bandwidth.
+	Geometric4 Allocation = iota
+	// Linear spaces carriers at consecutive multiples of f0: linear
+	// bandwidth, collision-prone.
+	Linear
+)
+
+// String names the allocation.
+func (a Allocation) String() string {
+	switch a {
+	case Geometric4:
+		return "geometric4"
+	case Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("allocation(%d)", int(a))
+	}
+}
+
+// Bandwidth returns the required oscillator bandwidth F/f0 (ratio of the
+// highest carrier frequency to the spacing) for an instance with n
+// variables and m clauses: the paper's key resource metric for an SBL
+// engine.
+func Bandwidth(n, m int, a Allocation) float64 {
+	k := 2 * n * m
+	switch a {
+	case Geometric4:
+		return math.Pow(4, float64(k-1))
+	case Linear:
+		return float64(k)
+	default:
+		return math.NaN()
+	}
+}
+
+// Options configures an SBL engine.
+type Options struct {
+	// Alloc selects the frequency plan. Default Geometric4.
+	Alloc Allocation
+	// MaxSamples caps the observation window. When the full common
+	// period fits under the cap the read-out is exact; otherwise the
+	// window is truncated and spectral leakage adds noise. Default 1e6.
+	MaxSamples int64
+	// Threshold is the DC level above which the instance is declared
+	// SAT. Matched minterms contribute exactly 1 each, so 0.5 separates
+	// K' >= 1 from 0 with maximal margin. Default 0.5.
+	Threshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 1_000_000
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	return o
+}
+
+// carrierBank is a deterministic hyperspace.SampleSource backed by
+// sinusoidal carriers: source k emits sqrt(2)·cos(2π·cycles[k]·t/period).
+type carrierBank struct {
+	n, m   int
+	cycles []int64 // per source, layout (var*m+clause)*2+polarity
+	period int64
+	t      int64
+}
+
+func (b *carrierBank) Dims() (int, int) { return b.n, b.m }
+
+func (b *carrierBank) Fill(pos, neg []float64) {
+	nm := b.n * b.m
+	for k := 0; k < nm; k++ {
+		pos[k] = b.at(2 * k)
+		neg[k] = b.at(2*k + 1)
+	}
+	b.t++
+}
+
+// at evaluates source idx at the bank's current time with exact integer
+// phase reduction (cycles·t mod period), avoiding precision loss for
+// large cycle counts.
+func (b *carrierBank) at(idx int) float64 {
+	phase := (b.cycles[idx] % b.period) * (b.t % b.period) % b.period
+	return math.Sqrt2 * math.Cos(2*math.Pi*float64(phase)/float64(b.period))
+}
+
+// Engine is a deterministic SBL NBL-SAT engine.
+type Engine struct {
+	f      *cnf.Formula
+	opts   Options
+	period int64
+	ev     *hyperspace.Evaluator
+	bank   *carrierBank
+}
+
+// maxGeometricSources caps Geometric4 so cycle counts stay well inside
+// int64 (4^k with 2nm = k <= 26 keeps period 2·4^k < 2^55).
+const maxGeometricSources = 26
+
+// New builds an SBL engine for f.
+func New(f *cnf.Formula, opts Options) (*Engine, error) {
+	n, m := f.NumVars, f.NumClauses()
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("sbl: need n >= 1 and m >= 1, got (%d,%d)", n, m)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	k := 2 * n * m
+	cycles := make([]int64, k)
+	var period int64
+	switch o.Alloc {
+	case Geometric4:
+		if k > maxGeometricSources {
+			return nil, fmt.Errorf("sbl: geometric allocation supports 2nm <= %d sources, need %d",
+				maxGeometricSources, k)
+		}
+		c := int64(1)
+		for i := 0; i < k; i++ {
+			cycles[i] = c
+			c *= 4
+		}
+		period = 2 * c // 2·4^k: strictly above every |combination| sum
+	case Linear:
+		for i := 0; i < k; i++ {
+			cycles[i] = int64(i + 1)
+		}
+		// All combinations lie within ±2·sum(f_k); choose the period
+		// past that to avoid wrap-around aliases (collisions at exactly
+		// zero remain, which is the allocator's documented defect).
+		sum := int64(k) * int64(k+1) // 2 * k(k+1)/2
+		period = 2*sum + 1
+	default:
+		return nil, fmt.Errorf("sbl: unknown allocation %v", o.Alloc)
+	}
+
+	bank := &carrierBank{n: n, m: m, cycles: cycles, period: period}
+	return &Engine{f: f, opts: o, period: period, ev: hyperspace.New(f, bank), bank: bank}, nil
+}
+
+// Period returns the common period of all carriers in samples; observing
+// a full period makes the DC read-out exact (for a collision-free
+// allocation).
+func (e *Engine) Period() int64 { return e.period }
+
+// Result reports an SBL check.
+type Result struct {
+	Satisfiable bool
+	// Mean is the windowed DC estimate of S_N; for a full-period
+	// collision-free run it equals the weighted model count K' exactly
+	// (up to float rounding).
+	Mean float64
+	// Samples is the observation window length used.
+	Samples int64
+	// FullPeriod reports whether the window covered the carriers' full
+	// common period (exact read-out).
+	FullPeriod bool
+}
+
+// Check runs the SBL engine over min(Period, MaxSamples) samples and
+// thresholds the DC estimate.
+func (e *Engine) Check() Result {
+	window := e.period
+	full := true
+	if window > e.opts.MaxSamples {
+		window = e.opts.MaxSamples
+		full = false
+	}
+	var sum float64
+	for i := int64(0); i < window; i++ {
+		sum += e.ev.Step().S
+	}
+	mean := sum / float64(window)
+	return Result{
+		Satisfiable: mean > e.opts.Threshold,
+		Mean:        mean,
+		Samples:     window,
+		FullPeriod:  full,
+	}
+}
+
+// Reset rewinds the carriers to t = 0 for a fresh observation.
+func (e *Engine) Reset() { e.bank.t = 0 }

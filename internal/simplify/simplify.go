@@ -1,0 +1,370 @@
+// Package simplify implements CNF preprocessing: unit propagation, pure
+// literal elimination, tautology and duplicate removal, clause
+// subsumption, and self-subsuming resolution (clause strengthening).
+//
+// Preprocessing matters more for NBL-SAT than for classical solvers:
+// the Monte-Carlo engine's sample budget grows as 4^(n·m)
+// (Section III-F), so removing a single clause or variable before the
+// noise encoding cuts the observation time by an exponential factor.
+// The nblsat CLI exposes this via -preprocess.
+package simplify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// Options selects which passes run. The zero value enables everything.
+type Options struct {
+	// DisableUnits skips unit propagation.
+	DisableUnits bool
+	// DisablePure skips pure-literal elimination.
+	DisablePure bool
+	// DisableSubsumption skips clause subsumption.
+	DisableSubsumption bool
+	// DisableStrengthen skips self-subsuming resolution.
+	DisableStrengthen bool
+	// MaxRounds bounds the fixpoint iteration (default 20).
+	MaxRounds int
+}
+
+// Result is the outcome of preprocessing.
+type Result struct {
+	// F is the simplified formula over compacted variables 1..F.NumVars.
+	F *cnf.Formula
+	// ProvedUnsat reports that preprocessing derived the empty clause;
+	// F is meaningless in that case.
+	ProvedUnsat bool
+	// Forced holds values of original variables fixed by unit
+	// propagation or pure literals.
+	Forced cnf.Assignment
+	// VarMap maps compacted variable v (1-based index into VarMap-1) to
+	// the original variable it renames.
+	VarMap []cnf.Var
+	// Stats summarizes the reduction.
+	Stats Stats
+}
+
+// Stats quantifies the reduction.
+type Stats struct {
+	UnitsPropagated             int
+	PureLiterals                int
+	ClausesSubsumed             int
+	LiteralsStrength            int
+	VarsBefore, VarsAfter       int
+	ClausesBefore, ClausesAfter int
+}
+
+// NMBefore returns the n·m product before preprocessing, the quantity
+// that drives the NBL sample budget.
+func (s Stats) NMBefore() int { return s.VarsBefore * s.ClausesBefore }
+
+// NMAfter returns the n·m product after preprocessing.
+func (s Stats) NMAfter() int { return s.VarsAfter * s.ClausesAfter }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("units=%d pure=%d subsumed=%d strengthened=%d  n·m %d -> %d",
+		s.UnitsPropagated, s.PureLiterals, s.ClausesSubsumed, s.LiteralsStrength,
+		s.NMBefore(), s.NMAfter())
+}
+
+// Simplify preprocesses f.
+func Simplify(f *cnf.Formula, opts Options) *Result {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 20
+	}
+	res := &Result{
+		Forced: cnf.NewAssignment(f.NumVars),
+	}
+	res.Stats.VarsBefore = f.NumVars
+	res.Stats.ClausesBefore = f.NumClauses()
+
+	work, hasEmpty := f.Simplify() // drop tautologies, dedup literals
+	if hasEmpty {
+		res.ProvedUnsat = true
+		return res
+	}
+	clauses := work.Clauses
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		changed := false
+
+		if !opts.DisableUnits {
+			var conflict bool
+			clauses, conflict, changed = propagateUnits(clauses, res)
+			if conflict {
+				res.ProvedUnsat = true
+				return res
+			}
+		}
+		if !opts.DisablePure {
+			if c, ch := eliminatePure(clauses, f.NumVars, res); ch {
+				clauses, changed = c, true
+			}
+		}
+		if !opts.DisableSubsumption {
+			if c, ch := subsume(clauses, res); ch {
+				clauses, changed = c, true
+			}
+		}
+		if !opts.DisableStrengthen {
+			if c, ch := strengthen(clauses, res); ch {
+				clauses, changed = c, true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Strengthening can shrink a clause to empty (e.g. resolving the
+	// last literal away): that is a derived contradiction.
+	for _, c := range clauses {
+		if len(c) == 0 {
+			res.ProvedUnsat = true
+			return res
+		}
+	}
+
+	// Compact variables.
+	used := map[cnf.Var]bool{}
+	for _, c := range clauses {
+		for _, l := range c {
+			used[l.Var()] = true
+		}
+	}
+	vars := make([]cnf.Var, 0, len(used))
+	for v := range used {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	remap := make(map[cnf.Var]cnf.Var, len(vars))
+	for i, v := range vars {
+		remap[v] = cnf.Var(i + 1)
+	}
+	out := cnf.New(len(vars))
+	for _, c := range clauses {
+		d := make(cnf.Clause, len(c))
+		for i, l := range c {
+			d[i] = cnf.NewLit(remap[l.Var()], l.IsNeg())
+		}
+		out.Clauses = append(out.Clauses, d)
+	}
+	res.F = out
+	res.VarMap = vars
+	res.Stats.VarsAfter = out.NumVars
+	res.Stats.ClausesAfter = out.NumClauses()
+	return res
+}
+
+// Reconstruct lifts a model of the simplified formula to a total
+// assignment of the original formula: forced values first, then the
+// model through VarMap, then false for anything left free.
+func (r *Result) Reconstruct(model cnf.Assignment) cnf.Assignment {
+	out := r.Forced.Clone()
+	for i, orig := range r.VarMap {
+		out.Set(orig, model.Get(cnf.Var(i+1)))
+	}
+	for v := 1; v < len(out); v++ {
+		if out[v] == cnf.Unassigned {
+			out[v] = cnf.False
+		}
+	}
+	return out
+}
+
+// propagateUnits applies all unit clauses, returning the reduced clause
+// set. conflict reports a derived contradiction.
+func propagateUnits(clauses []cnf.Clause, res *Result) (out []cnf.Clause, conflict, changed bool) {
+	for {
+		var unit cnf.Lit
+		found := false
+		for _, c := range clauses {
+			if len(c) == 1 {
+				unit = c[0]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return clauses, false, changed
+		}
+		changed = true
+		res.Stats.UnitsPropagated++
+		val := cnf.True
+		if unit.IsNeg() {
+			val = cnf.False
+		}
+		if prev := res.Forced.Get(unit.Var()); prev != cnf.Unassigned && prev != val {
+			return nil, true, true
+		}
+		res.Forced.Set(unit.Var(), val)
+
+		next := clauses[:0:0]
+		for _, c := range clauses {
+			if c.Contains(unit) {
+				continue // satisfied
+			}
+			if c.Contains(unit.Negate()) {
+				d := make(cnf.Clause, 0, len(c)-1)
+				for _, l := range c {
+					if l != unit.Negate() {
+						d = append(d, l)
+					}
+				}
+				if len(d) == 0 {
+					return nil, true, true
+				}
+				next = append(next, d)
+				continue
+			}
+			next = append(next, c)
+		}
+		clauses = next
+	}
+}
+
+// eliminatePure assigns variables appearing with a single polarity.
+func eliminatePure(clauses []cnf.Clause, numVars int, res *Result) ([]cnf.Clause, bool) {
+	polarity := make([]int8, numVars+1) // 1 pos, 2 neg, 3 both
+	for _, c := range clauses {
+		for _, l := range c {
+			bit := int8(1)
+			if l.IsNeg() {
+				bit = 2
+			}
+			polarity[l.Var()] |= bit
+		}
+	}
+	pure := map[cnf.Lit]bool{}
+	for v := 1; v <= numVars; v++ {
+		switch polarity[v] {
+		case 1:
+			pure[cnf.Pos(cnf.Var(v))] = true
+			res.Forced.Set(cnf.Var(v), cnf.True)
+			res.Stats.PureLiterals++
+		case 2:
+			pure[cnf.Neg(cnf.Var(v))] = true
+			res.Forced.Set(cnf.Var(v), cnf.False)
+			res.Stats.PureLiterals++
+		}
+	}
+	if len(pure) == 0 {
+		return clauses, false
+	}
+	out := clauses[:0:0]
+	for _, c := range clauses {
+		satisfied := false
+		for _, l := range c {
+			if pure[l] {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			out = append(out, c)
+		}
+	}
+	return out, true
+}
+
+// litSet returns a membership set for the clause.
+func litSet(c cnf.Clause) map[cnf.Lit]bool {
+	s := make(map[cnf.Lit]bool, len(c))
+	for _, l := range c {
+		s[l] = true
+	}
+	return s
+}
+
+// subsume removes clauses that are supersets of another clause
+// (C subsumes D when C ⊆ D: every model satisfying C satisfies D, so D
+// is redundant). Clauses are processed shortest-first so survivors are
+// the strongest.
+func subsume(clauses []cnf.Clause, res *Result) ([]cnf.Clause, bool) {
+	order := make([]int, len(clauses))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(clauses[order[a]]) < len(clauses[order[b]])
+	})
+	removed := make([]bool, len(clauses))
+	changed := false
+	for oi, i := range order {
+		if removed[i] {
+			continue
+		}
+		ci := litSet(clauses[i])
+		for _, j := range order[oi+1:] {
+			if removed[j] || len(clauses[j]) < len(clauses[i]) {
+				continue
+			}
+			if containsAll(litSet(clauses[j]), ci) {
+				removed[j] = true
+				res.Stats.ClausesSubsumed++
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return clauses, false
+	}
+	out := clauses[:0:0]
+	for i, c := range clauses {
+		if !removed[i] {
+			out = append(out, c)
+		}
+	}
+	return out, true
+}
+
+// containsAll reports whether superset contains every literal of sub.
+func containsAll(superset, sub map[cnf.Lit]bool) bool {
+	for l := range sub {
+		if !superset[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// strengthen applies self-subsuming resolution: if C = A ∪ {l} and
+// D ⊇ A ∪ {¬l}, the resolvent A ∪ (D \ {¬l}) subsumes D, so ¬l can be
+// deleted from D.
+func strengthen(clauses []cnf.Clause, res *Result) ([]cnf.Clause, bool) {
+	changed := false
+	for i, c := range clauses {
+		for _, l := range c {
+			rest := make(map[cnf.Lit]bool, len(c)-1)
+			for _, x := range c {
+				if x != l {
+					rest[x] = true
+				}
+			}
+			neg := l.Negate()
+			for j, d := range clauses {
+				if i == j || !d.Contains(neg) {
+					continue
+				}
+				ds := litSet(d)
+				delete(ds, neg)
+				if containsAll(ds, rest) {
+					// Remove ¬l from d.
+					nd := make(cnf.Clause, 0, len(d)-1)
+					for _, x := range d {
+						if x != neg {
+							nd = append(nd, x)
+						}
+					}
+					clauses[j] = nd
+					res.Stats.LiteralsStrength++
+					changed = true
+				}
+			}
+		}
+	}
+	return clauses, changed
+}

@@ -1,0 +1,185 @@
+// Package stats provides streaming statistics for the NBL-SAT simulator.
+//
+// The paper's SAT check (Algorithm 1) reduces to deciding whether the
+// running mean of the observed process S_N(t) = tau_N(t)·Sigma_N(t) is
+// zero or positive. Its experimental section runs "until the mean value
+// of S_N has converged to the third significant digit or until 1e8 noise
+// samples have been reached". This package supplies:
+//
+//   - Welford: numerically stable one-pass mean/variance accumulation;
+//   - Convergence: the paper's significant-digit stopping rule;
+//   - confidence-interval helpers used to turn a finite-sample mean into
+//     the paper's idealized zero-vs-positive decision.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates count, mean and variance in a single pass using
+// Welford's algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// AddN incorporates all values in xs.
+func (w *Welford) AddN(xs []float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel
+// update). It lets worker goroutines accumulate privately and merge once.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	delta := o.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += o.m2 + delta*delta*n1*n2/total
+	w.n += o.n
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance. It returns 0 for fewer
+// than two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean, sigma/sqrt(n).
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return math.Inf(1)
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// String summarizes the accumulator for diagnostics.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g", w.n, w.Mean(), w.StdDev())
+}
+
+// Convergence implements the paper's stopping rule: stop when the running
+// mean has been stable to Digits significant digits for Window
+// consecutive checks, or when MaxSamples observations have been seen.
+type Convergence struct {
+	// Digits is the number of significant digits that must be stable.
+	// The paper uses 3.
+	Digits int
+	// Window is how many consecutive stable checks are required before
+	// declaring convergence. Guards against transient agreement.
+	Window int
+	// MaxSamples is the hard observation budget (paper: 1e8).
+	MaxSamples int64
+
+	prev   float64
+	stable int
+	primed bool
+}
+
+// NewConvergence returns a detector with the paper's defaults:
+// 3 significant digits, a window of 4 checks, and a 1e8-sample budget.
+func NewConvergence() *Convergence {
+	return &Convergence{Digits: 3, Window: 4, MaxSamples: 100_000_000}
+}
+
+// RoundSig rounds x to d significant digits. RoundSig(0, d) == 0.
+func RoundSig(x float64, d int) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	mag := math.Pow(10, float64(d-1)-math.Floor(math.Log10(math.Abs(x))))
+	return math.Round(x*mag) / mag
+}
+
+// Check reports whether the run should stop given the current running
+// mean and observation count. Call it periodically (not necessarily every
+// sample); each call is one stability check.
+func (c *Convergence) Check(mean float64, n int64) bool {
+	if c.MaxSamples > 0 && n >= c.MaxSamples {
+		return true
+	}
+	cur := RoundSig(mean, c.Digits)
+	if c.primed && cur == c.prev {
+		c.stable++
+	} else {
+		c.stable = 0
+	}
+	c.prev = cur
+	c.primed = true
+	return c.stable >= c.Window
+}
+
+// Reset clears the detector's history but keeps its configuration.
+func (c *Convergence) Reset() {
+	c.prev, c.stable, c.primed = 0, 0, false
+}
+
+// MeanAboveZero reports whether the accumulated mean is significantly
+// positive: mean > theta standard errors above zero. theta = 3 mirrors
+// the 3-sigma margins of the paper's SNR definition in Section III-F.
+func MeanAboveZero(w *Welford, theta float64) bool {
+	if w.Count() < 2 {
+		return false
+	}
+	return w.Mean() > theta*w.StdErr()
+}
+
+// Mean returns the arithmetic mean of xs (NaN for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 if len < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }

@@ -1,0 +1,54 @@
+package walksat
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/rng"
+)
+
+func TestBreakCountDirect(t *testing.T) {
+	// f = (x1+x2)(!x1+x3)(x1) under x1=1, x2=0, x3=0: clauses 0 and 2
+	// are satisfied (via x1), clause 1 is not. Flipping x1 unsatisfies
+	// both currently-satisfied clauses: break = 2. Flipping x3 breaks
+	// nothing (it only helps clause 1): break = 0.
+	f := cnf.FromClauses([]int{1, 2}, []int{-1, 3}, []int{1})
+	a := cnf.AssignmentFromBools([]bool{true, false, false})
+	if got := breakCount(f, a, 1); got != 2 {
+		t.Errorf("breakCount(x1) = %d, want 2", got)
+	}
+	if got := breakCount(f, a, 3); got != 0 {
+		t.Errorf("breakCount(x3) = %d, want 0", got)
+	}
+	// breakCount must not mutate the assignment.
+	if a.Get(1) != cnf.True || a.Get(3) != cnf.False {
+		t.Error("breakCount mutated the assignment")
+	}
+}
+
+func TestUnsatClausesList(t *testing.T) {
+	f := cnf.FromClauses([]int{1}, []int{-1}, []int{1, 2})
+	a := cnf.AssignmentFromBools([]bool{true, false})
+	got := unsatClauses(f, a)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("unsatClauses = %v, want [1]", got)
+	}
+}
+
+func TestWalksatPickPrefersZeroBreak(t *testing.T) {
+	// With a zero-break flip available, WalkSAT must take it regardless
+	// of the noise parameter (freebie move).
+	f := cnf.FromClauses([]int{1, 2}, []int{-2}) // x2 must be 0; x1 free
+	a := cnf.AssignmentFromBools([]bool{false, false})
+	// Unsatisfied: clause 0. Flipping x1 breaks nothing (clause 1
+	// doesn't mention x1). Flipping x2 fixes clause 0 but breaks 1.
+	unsat := unsatClauses(f, a)
+	counts := map[cnf.Var]int{}
+	g := rng.New(99)
+	for i := 0; i < 50; i++ {
+		counts[walksatPick(f, a, unsat, g, 0.99)]++
+	}
+	if counts[1] != 50 {
+		t.Errorf("zero-break variable not always chosen: %v", counts)
+	}
+}

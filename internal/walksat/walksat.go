@@ -1,0 +1,194 @@
+// Package walksat implements the WalkSAT and GSAT stochastic local
+// search procedures, the paper's representatives of "incomplete or
+// stochastic heuristics" (references [8], [9]).
+//
+// Both walk over total assignments, flipping one variable at a time to
+// reduce the number of unsatisfied clauses. They can report SAT quickly
+// but can never certify UNSAT, which is exactly the asymmetry the
+// NBL-SAT single-operation check claims to remove; experiment E10 places
+// the three solver styles side by side.
+package walksat
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/rng"
+)
+
+// Options configures a local-search run.
+type Options struct {
+	// MaxFlips bounds the flips per restart. Default 10_000.
+	MaxFlips int
+	// Restarts is the number of random restarts. Default 10.
+	Restarts int
+	// NoiseP is the WalkSAT random-walk probability in [0,1]:
+	// with probability NoiseP a random variable of a random unsatisfied
+	// clause is flipped; otherwise the best variable. Default 0.5.
+	NoiseP float64
+	// Seed seeds the search.
+	Seed uint64
+	// Greedy selects pure GSAT moves (global best flip) instead of the
+	// WalkSAT clause-focused strategy.
+	Greedy bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFlips == 0 {
+		o.MaxFlips = 10_000
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 10
+	}
+	if o.NoiseP == 0 {
+		o.NoiseP = 0.5
+	}
+	return o
+}
+
+// Stats counts search effort.
+type Stats struct {
+	Flips    int64
+	Restarts int64
+}
+
+// Result of a local-search run.
+type Result struct {
+	// Found reports whether a model was discovered. false means
+	// "unknown", never "unsatisfiable".
+	Found bool
+	// Assignment is the model when Found.
+	Assignment cnf.Assignment
+	Stats      Stats
+}
+
+// Solve runs WalkSAT (or GSAT when opts.Greedy) on f.
+func Solve(f *cnf.Formula, opts Options) Result {
+	o := opts.withDefaults()
+	g := rng.New(o.Seed)
+	n := f.NumVars
+	if n == 0 || f.NumClauses() == 0 {
+		// Trivially satisfied: no constraints.
+		return Result{Found: true, Assignment: cnf.NewAssignment(n)}
+	}
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return Result{} // empty clause: unknown for local search
+		}
+	}
+
+	var st Stats
+	for r := 0; r < o.Restarts; r++ {
+		st.Restarts++
+		a := randomAssignment(g, n)
+		for flip := 0; flip < o.MaxFlips; flip++ {
+			unsat := unsatClauses(f, a)
+			if len(unsat) == 0 {
+				st.Flips += int64(flip)
+				return Result{Found: true, Assignment: a, Stats: st}
+			}
+			var v cnf.Var
+			if o.Greedy {
+				v = gsatPick(f, a, g)
+			} else {
+				v = walksatPick(f, a, unsat, g, o.NoiseP)
+			}
+			flipVar(a, v)
+		}
+		st.Flips += int64(o.MaxFlips)
+	}
+	return Result{Stats: st}
+}
+
+func randomAssignment(g *rng.Xoshiro256, n int) cnf.Assignment {
+	a := cnf.NewAssignment(n)
+	for v := 1; v <= n; v++ {
+		if g.Bool() {
+			a.Set(cnf.Var(v), cnf.True)
+		} else {
+			a.Set(cnf.Var(v), cnf.False)
+		}
+	}
+	return a
+}
+
+func flipVar(a cnf.Assignment, v cnf.Var) {
+	a.Set(v, a.Get(v).Not())
+}
+
+func unsatClauses(f *cnf.Formula, a cnf.Assignment) []int {
+	var out []int
+	for i, c := range f.Clauses {
+		if a.EvalClause(c) != cnf.True {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// breakCount returns the standard (SKC) break count of flipping v: the
+// number of clauses that are satisfied now but would become unsatisfied.
+// It never counts newly-fixed clauses, so it is non-negative; a zero
+// break count is WalkSAT's "freebie" move.
+func breakCount(f *cnf.Formula, a cnf.Assignment, v cnf.Var) int {
+	count := 0
+	for _, c := range f.Clauses {
+		if a.EvalClause(c) != cnf.True {
+			continue
+		}
+		flipVar(a, v)
+		nowUnsat := a.EvalClause(c) != cnf.True
+		flipVar(a, v)
+		if nowUnsat {
+			count++
+		}
+	}
+	return count
+}
+
+// walksatPick implements the SKC WalkSAT move: pick a random unsatisfied
+// clause; if some variable has break-count 0, flip it; otherwise with
+// probability p flip a random clause variable, else the minimum-break
+// variable.
+func walksatPick(f *cnf.Formula, a cnf.Assignment, unsat []int, g *rng.Xoshiro256, p float64) cnf.Var {
+	c := f.Clauses[unsat[g.Intn(len(unsat))]]
+	bestV, bestBreak := cnf.Var(0), 1<<30
+	for _, l := range c {
+		b := breakCount(f, a, l.Var())
+		if b < bestBreak {
+			bestV, bestBreak = l.Var(), b
+		}
+	}
+	if bestBreak == 0 || g.Float64() >= p {
+		return bestV
+	}
+	return c[g.Intn(len(c))].Var()
+}
+
+// gsatPick implements the GSAT move: flip the variable that maximally
+// decreases the number of unsatisfied clauses (ties broken uniformly).
+func gsatPick(f *cnf.Formula, a cnf.Assignment, g *rng.Xoshiro256) cnf.Var {
+	numUnsat := func() int {
+		n := 0
+		for _, c := range f.Clauses {
+			if a.EvalClause(c) != cnf.True {
+				n++
+			}
+		}
+		return n
+	}
+	base := numUnsat()
+	bestDelta := 1 << 30
+	var best []cnf.Var
+	for v := 1; v <= f.NumVars; v++ {
+		flipVar(a, cnf.Var(v))
+		delta := numUnsat() - base
+		flipVar(a, cnf.Var(v))
+		if delta < bestDelta {
+			bestDelta = delta
+			best = best[:0]
+		}
+		if delta == bestDelta {
+			best = append(best, cnf.Var(v))
+		}
+	}
+	return best[g.Intn(len(best))]
+}

@@ -1,0 +1,97 @@
+package walksat
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestSolvePaperSatInstances(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    *cnf.Formula
+	}{
+		{"S_SAT", gen.PaperSAT()},
+		{"Example5", gen.PaperExample5()},
+		{"Example6", gen.PaperExample6()},
+	} {
+		r := Solve(tc.f, Options{Seed: 1})
+		if !r.Found {
+			t.Errorf("%s: WalkSAT failed to find the model", tc.name)
+			continue
+		}
+		if !r.Assignment.Satisfies(tc.f) {
+			t.Errorf("%s: returned non-model %s", tc.name, r.Assignment)
+		}
+	}
+}
+
+func TestSolveUnsatReturnsUnknown(t *testing.T) {
+	r := Solve(gen.PaperUNSAT(), Options{Seed: 2, MaxFlips: 200, Restarts: 3})
+	if r.Found {
+		t.Error("UNSAT instance cannot yield a model")
+	}
+	if r.Stats.Restarts != 3 {
+		t.Errorf("restarts = %d, want 3", r.Stats.Restarts)
+	}
+}
+
+func TestSolvePlantedInstances(t *testing.T) {
+	g := rng.New(5)
+	for trial := 0; trial < 10; trial++ {
+		f, _ := gen.PlantedKSAT(g, 20, 70, 3)
+		r := Solve(f, Options{Seed: uint64(trial)})
+		if !r.Found {
+			t.Errorf("trial %d: planted instance not solved", trial)
+			continue
+		}
+		if !r.Assignment.Satisfies(f) {
+			t.Errorf("trial %d: non-model", trial)
+		}
+	}
+}
+
+func TestGSATMode(t *testing.T) {
+	g := rng.New(6)
+	f, _ := gen.PlantedKSAT(g, 10, 30, 3)
+	r := Solve(f, Options{Seed: 3, Greedy: true})
+	if !r.Found || !r.Assignment.Satisfies(f) {
+		t.Error("GSAT failed on a small planted instance")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	f := gen.PaperExample6()
+	a := Solve(f, Options{Seed: 7})
+	b := Solve(f, Options{Seed: 7})
+	if a.Found != b.Found || a.Stats != b.Stats {
+		t.Error("same seed must reproduce the run")
+	}
+}
+
+func TestTrivialCases(t *testing.T) {
+	if r := Solve(cnf.New(3), Options{Seed: 1}); !r.Found {
+		t.Error("formula with no clauses is trivially SAT")
+	}
+	f := cnf.New(1)
+	f.Clauses = append(f.Clauses, cnf.Clause{})
+	if r := Solve(f, Options{Seed: 1}); r.Found {
+		t.Error("empty clause cannot be satisfied")
+	}
+}
+
+func TestFlipsAccounted(t *testing.T) {
+	r := Solve(gen.PaperUNSAT(), Options{Seed: 9, MaxFlips: 50, Restarts: 2})
+	if r.Stats.Flips != 100 {
+		t.Errorf("flips = %d, want 100 (2 restarts x 50 flips)", r.Stats.Flips)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxFlips != 10_000 || o.Restarts != 10 || o.NoiseP != 0.5 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}

@@ -1,0 +1,154 @@
+// Package repro is the public API of the NBL-SAT reproduction: Boolean
+// satisfiability solving with noise-based logic, after Lin, Mandal and
+// Khatri, "Boolean Satisfiability using Noise Based Logic" (DAC 2012 /
+// arXiv:1110.0550).
+//
+// The facade re-exports the pieces a library user needs — CNF modeling,
+// DIMACS I/O, the NBL Monte-Carlo and exact engines, the classical
+// baselines, and circuit-to-CNF encoding — while the full machinery
+// lives in the internal packages (see DESIGN.md for the map).
+//
+// Quickstart:
+//
+//	f := repro.FromClauses([]int{1, 2}, []int{-1, -2})
+//	eng, _ := repro.NewEngine(f, repro.Options{})
+//	fmt.Println(eng.Check())      // Algorithm 1: SAT/UNSAT in one check
+//	res, _ := eng.Assign()        // Algorithm 2: model in n more checks
+//	fmt.Println(res.Assignment)
+package repro
+
+import (
+	"io"
+
+	"repro/internal/cdcl"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/count"
+	"repro/internal/dimacs"
+	"repro/internal/dpll"
+	"repro/internal/gen"
+	"repro/internal/noise"
+	"repro/internal/rng"
+	"repro/internal/walksat"
+)
+
+// Core CNF types, re-exported.
+type (
+	// Formula is a CNF formula (conjunction of clauses).
+	Formula = cnf.Formula
+	// Clause is a disjunction of literals.
+	Clause = cnf.Clause
+	// Lit is a literal in packed encoding.
+	Lit = cnf.Lit
+	// Var is a 1-based variable identifier.
+	Var = cnf.Var
+	// Value is a three-valued truth value.
+	Value = cnf.Value
+	// Assignment maps variables to truth values.
+	Assignment = cnf.Assignment
+)
+
+// Truth values.
+const (
+	Unassigned = cnf.Unassigned
+	False      = cnf.False
+	True       = cnf.True
+)
+
+// NBL engine types, re-exported.
+type (
+	// Engine is the Monte-Carlo NBL-SAT engine.
+	Engine = core.Engine
+	// Options configures an Engine.
+	Options = core.Options
+	// Result is one NBL-SAT check outcome.
+	Result = core.Result
+	// AssignResult is an Algorithm 2 outcome.
+	AssignResult = core.AssignResult
+	// Family selects the basis noise family.
+	Family = noise.Family
+)
+
+// Noise families.
+const (
+	// UniformHalf is the paper's U[-0.5, 0.5] family.
+	UniformHalf = noise.UniformHalf
+	// UniformUnit is the variance-normalized uniform family
+	// (recommended: no sigma^(2nm) underflow).
+	UniformUnit = noise.UniformUnit
+	// Gaussian is the standard normal family.
+	Gaussian = noise.Gaussian
+	// RTW is the ±1 random-telegraph-wave family.
+	RTW = noise.RTW
+)
+
+// NewFormula returns an empty formula over n variables.
+func NewFormula(n int) *Formula { return cnf.New(n) }
+
+// FromClauses builds a formula from DIMACS-style signed integer clauses.
+func FromClauses(clauses ...[]int) *Formula { return cnf.FromClauses(clauses...) }
+
+// ReadDIMACS parses a DIMACS CNF stream.
+func ReadDIMACS(r io.Reader) (*Formula, error) { return dimacs.Read(r) }
+
+// WriteDIMACS emits a formula in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula, comment string) error {
+	return dimacs.Write(w, f, comment)
+}
+
+// NewEngine builds a Monte-Carlo NBL-SAT engine (Algorithms 1 and 2 of
+// the paper). Zero-valued Options fields take sensible defaults.
+func NewEngine(f *Formula, opts Options) (*Engine, error) {
+	return core.NewEngine(f, opts)
+}
+
+// ExactCheck is the idealized (infinite-sample) Algorithm 1: it reports
+// satisfiability through the closed-form E[S_N] > 0 test. Exponential in
+// n (it enumerates assignments); intended for instances the Monte-Carlo
+// engine can handle anyway.
+func ExactCheck(f *Formula) bool { return core.ExactCheck(f) }
+
+// ExactAssign is the idealized Algorithm 2: a satisfying assignment via
+// n+1 exact checks.
+func ExactAssign(f *Formula) (Assignment, bool) { return core.ExactAssign(f) }
+
+// SolveDPLL runs the classical DPLL baseline.
+func SolveDPLL(f *Formula) (Assignment, bool) { return dpll.Solve(f) }
+
+// SolveCDCL runs the conflict-driven clause-learning baseline.
+func SolveCDCL(f *Formula) (Assignment, bool) { return cdcl.Solve(f) }
+
+// SolveWalkSAT runs the stochastic local-search baseline with default
+// options and the given seed. The bool is false when no model was found
+// within the search budget (which proves nothing about UNSAT).
+func SolveWalkSAT(f *Formula, seed uint64) (Assignment, bool) {
+	r := walksat.Solve(f, walksat.Options{Seed: seed})
+	return r.Assignment, r.Found
+}
+
+// CountModels returns the exact number of satisfying assignments as a
+// string (the count can exceed uint64 for large free-variable sets).
+func CountModels(f *Formula) string { return count.Count(f).String() }
+
+// RandomKSAT generates a uniform random k-SAT instance.
+func RandomKSAT(seed uint64, n, m, k int) *Formula {
+	return gen.RandomKSAT(rng.New(seed), n, m, k)
+}
+
+// PlantedKSAT generates a guaranteed-satisfiable random k-SAT instance
+// together with its planted model.
+func PlantedKSAT(seed uint64, n, m, k int) (*Formula, Assignment) {
+	return gen.PlantedKSAT(rng.New(seed), n, m, k)
+}
+
+// PaperSAT and friends return the exact instances used in the paper.
+func PaperSAT() *Formula { return gen.PaperSAT() }
+
+// PaperUNSAT returns the unsatisfiable Section IV instance.
+func PaperUNSAT() *Formula { return gen.PaperUNSAT() }
+
+// PaperExample6 returns (x1+x2)·(!x1+!x2) from Example 6.
+func PaperExample6() *Formula { return gen.PaperExample6() }
+
+// PaperExample7 returns (x1)·(!x1) from Example 7.
+func PaperExample7() *Formula { return gen.PaperExample7() }
