@@ -1,45 +1,58 @@
 // Command nblsat is the NBL-SAT solver CLI: it reads a DIMACS CNF
-// instance and decides it with any engine in the repository.
+// instance and decides it with any engine in the registry.
 //
 // Usage:
 //
 //	nblsat [flags] [file.cnf]     (stdin when no file is given)
 //
-// Engines: mc (Monte-Carlo NBL, default), exact (infinite-sample NBL),
-// rtw (integer-exact telegraph waves), sbl (sinusoid carriers), analog
-// (compiled block netlist), dpll, cdcl, walksat, hybrid (NBL-guided
-// DPLL).
+// Engines (see repro.Engines()): mc (Monte-Carlo NBL, default), exact
+// (infinite-sample NBL), rtw (integer-exact telegraph waves), sbl
+// (sinusoid carriers), analog (compiled block netlist), dpll, cdcl,
+// walksat, hybrid (NBL-guided DPLL), and portfolio (parallel race of
+// -members).
+//
+// Exit codes follow the SAT competition convention: 10 when the verdict
+// is SATISFIABLE, 20 when UNSATISFIABLE, 0 when UNKNOWN, and 2 on usage
+// or I/O errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/analog"
-	"repro/internal/cdcl"
-	"repro/internal/cnf"
-	"repro/internal/core"
+	"repro"
 	"repro/internal/dimacs"
-	"repro/internal/dpll"
-	"repro/internal/hybrid"
-	"repro/internal/noise"
-	"repro/internal/rtw"
-	"repro/internal/sbl"
 	"repro/internal/simplify"
-	"repro/internal/walksat"
+)
+
+// SAT-competition exit codes.
+const (
+	exitUnknown = 0
+	exitSat     = 10
+	exitUnsat   = 20
+	exitError   = 2
 )
 
 func main() {
 	var (
-		engine  = flag.String("engine", "mc", "mc|exact|rtw|sbl|analog|dpll|cdcl|walksat|hybrid")
-		family  = flag.String("family", "unit", "noise family for mc: half|unit|gauss|rtw")
+		engine  = flag.String("engine", "mc", "engine name: "+strings.Join(repro.Engines(), "|"))
+		family  = flag.String("family", "unit", "noise family for mc/analog: half|unit|gauss|rtw")
 		seed    = flag.Uint64("seed", 1, "experiment seed")
-		samples = flag.Int64("samples", 4_000_000, "sample budget per NBL check")
+		samples = flag.Int64("samples", 4_000_000,
+			"sample/step budget per NBL check (mc, rtw, sbl, analog)")
 		workers = flag.Int("workers", 1, "parallel sampling workers (mc)")
 		theta   = flag.Float64("theta", 4, "SAT decision threshold in standard errors")
-		assign  = flag.Bool("assign", false, "recover a satisfying assignment (Algorithm 2)")
-		prep    = flag.Bool("preprocess", false,
+		assign  = flag.Bool("assign", false,
+			"recover a satisfying assignment from check-style NBL engines (Algorithm 2)")
+		members = flag.String("members", "",
+			"comma-separated lineup for -engine portfolio (default cdcl,mc,walksat)")
+		timeout = flag.Duration("timeout", 0,
+			"wall-clock budget for the solve; expiry yields UNKNOWN (0 = none)")
+		alloc = flag.String("alloc", "geometric4", "sbl carrier allocation: geometric4|linear")
+		prep  = flag.Bool("preprocess", false,
 			"simplify before solving (units, pure literals, subsumption); "+
 				"shrinking n·m cuts the NBL sample budget exponentially")
 		sol = flag.Bool("sol", false,
@@ -59,156 +72,130 @@ func main() {
 	fmt.Fprintf(info, "instance: %d variables, %d clauses, %d literals\n",
 		f.NumVars, f.NumClauses(), f.NumLiterals())
 
+	orig := f
+	var pre *simplify.Result
 	if *prep {
 		r := simplify.Simplify(f, simplify.Options{})
 		fmt.Fprintf(info, "preprocess: %s\n", r.Stats)
 		if r.ProvedUnsat {
-			fmt.Println("preprocess: UNSAT (derived the empty clause)")
+			fmt.Fprintln(info, "preprocess: derived the empty clause")
+			report(f, repro.Result{Status: repro.StatusUnsat, Engine: "preprocess"})
 			return
 		}
 		if r.F.NumClauses() == 0 {
-			fmt.Printf("preprocess: SAT with %s (no clauses remain)\n",
-				r.Reconstruct(cnf.NewAssignment(r.F.NumVars)))
+			model := r.Reconstruct(repro.NewAssignment(r.F.NumVars))
+			report(f, repro.Result{
+				Status: repro.StatusSat, Assignment: model, Engine: "preprocess",
+			})
 			return
 		}
+		pre = r
 		f = r.F
 		fmt.Fprintf(info, "solving reduced instance: %d variables, %d clauses\n",
 			f.NumVars, f.NumClauses())
-		fmt.Fprintln(info, "note: reported assignments refer to the reduced variables")
 	}
 
-	switch *engine {
-	case "mc":
-		runMC(f, *family, *seed, *samples, *workers, *theta, *assign)
-	case "exact":
-		runExact(f, *assign)
-	case "rtw":
-		eng, err := rtw.New(f, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		r := eng.Check(*samples, *theta)
-		fmt.Printf("rtw: sat=%v mean=%.4g stderr=%.3g samples=%d\n",
-			r.Satisfiable, r.Mean, r.StdErr, r.Samples)
-	case "sbl":
-		eng, err := sbl.New(f, sbl.Options{MaxSamples: *samples})
-		if err != nil {
-			fatal(err)
-		}
-		r := eng.Check()
-		fmt.Printf("sbl: sat=%v dc=%.6g samples=%d fullPeriod=%v (period %d, bandwidth F/f0 = %.4g)\n",
-			r.Satisfiable, r.Mean, r.Samples, r.FullPeriod, eng.Period(),
-			sbl.Bandwidth(f.NumVars, f.NumClauses(), sbl.Geometric4))
-	case "analog":
-		eng, err := analog.Compile(f, noise.UniformUnit, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		r := eng.Check(*samples, *theta)
-		fmt.Printf("analog: sat=%v mean=%.4g samples=%d components: %s\n",
-			r.Satisfiable, r.Mean, r.Samples, eng.Blocks)
-	case "dpll":
-		s := dpll.New(f, nil)
-		a, ok := s.Solve()
-		report(f, a, ok)
-		fmt.Fprintf(info, "effort: %+v\n", s.Stats())
-	case "cdcl":
-		s := cdcl.New(f)
-		a, ok := s.Solve()
-		report(f, a, ok)
-		fmt.Fprintf(info, "effort: %+v\n", s.Stats())
-	case "walksat":
-		r := walksat.Solve(f, walksat.Options{Seed: *seed})
-		if r.Found {
-			report(f, r.Assignment, true)
-		} else {
-			fmt.Println("walksat: UNKNOWN (no model found within budget)")
-		}
-	case "hybrid":
-		r := hybrid.SolveExact(f)
-		report(f, r.Assignment, r.Satisfiable)
-		fmt.Fprintf(info, "effort: %+v coprocessor probes: %d\n", r.DPLL, r.Probes)
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+	opts := []repro.Option{
+		repro.WithSeed(*seed),
+		repro.WithMaxSamples(*samples),
+		repro.WithWorkers(*workers),
+		repro.WithTheta(*theta),
+		repro.WithFamily(*family),
+		repro.WithAllocation(*alloc),
+		repro.WithModel(*assign),
 	}
-}
-
-func runMC(f *cnf.Formula, family string, seed uint64, samples int64, workers int, theta float64, assign bool) {
-	fam, ok := map[string]noise.Family{
-		"half": noise.UniformHalf, "unit": noise.UniformUnit,
-		"gauss": noise.Gaussian, "rtw": noise.RTW,
-	}[family]
-	if !ok {
-		fatal(fmt.Errorf("unknown family %q", family))
+	if *members != "" {
+		var lineup []string
+		for _, m := range strings.Split(*members, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				lineup = append(lineup, m)
+			}
+		}
+		opts = append(opts, repro.WithMembers(lineup...))
 	}
-	eng, err := core.NewEngine(f, core.Options{
-		Family: fam, Seed: seed, MaxSamples: samples,
-		Workers: workers, Theta: theta,
-	})
+	s, err := repro.New(*engine, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	if !assign {
-		fmt.Printf("mc (%v): %v\n", fam, eng.Check())
-		return
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	res, err := eng.Assign()
+	res, err := s.Solve(ctx, f)
 	if err != nil {
-		fmt.Printf("mc (%v): %v (%d checks)\n", fam, err, len(res.Checks))
-		os.Exit(1)
+		if ctx.Err() != nil {
+			fmt.Fprintf(info, "%s: %v after %v (stats: %+v)\n", *engine, err, res.Wall, res.Stats)
+			report(orig, res) // UNKNOWN
+			return
+		}
+		fatal(err)
 	}
-	fmt.Printf("mc (%v): SAT with %s (%d NBL checks, linear bound n+1 = %d)\n",
-		fam, res.Assignment, len(res.Checks), f.NumVars+1)
+	if pre != nil && res.Assignment != nil {
+		// Lift the model from the reduced variable space back to the
+		// input CNF so the printed assignment (and any -sol certificate)
+		// checks against the instance the user supplied.
+		res.Assignment = pre.Reconstruct(res.Assignment)
+	}
+	verdictBy := res.Engine // for portfolio this names the winning member
+	if verdictBy != *engine {
+		verdictBy = *engine + " (won by " + res.Engine + ")"
+	}
+	fmt.Fprintf(info, "engine %s: %v in %v (stats: %+v)\n", verdictBy, res.Status, res.Wall, res.Stats)
+	report(orig, res)
 }
 
-func runExact(f *cnf.Formula, assign bool) {
-	if !assign {
-		fmt.Printf("exact: sat=%v\n", core.ExactCheck(f))
-		return
-	}
-	a, ok := core.ExactAssign(f)
-	if !ok {
-		fmt.Println("exact: UNSAT")
-		return
-	}
-	fmt.Printf("exact: SAT with %s\n", a)
-}
-
-// solMode is set from the -sol flag; report and the engine paths honor
-// it by emitting SAT-competition s/v lines instead of prose.
+// solMode is set from the -sol flag; report honors it by emitting
+// SAT-competition s/v lines instead of prose.
 var solMode bool
 
-func report(f *cnf.Formula, a cnf.Assignment, ok bool) {
+// report prints the verdict and exits with the SAT-competition code.
+func report(f *repro.Formula, r repro.Result) {
 	if solMode {
-		status := "UNSATISFIABLE"
-		if ok {
-			status = "SATISFIABLE"
-		}
-		if err := dimacs.WriteSolution(os.Stdout, status, a); err != nil {
+		if r.Status == repro.StatusSat && r.Assignment == nil {
+			// Check-style NBL engines certify SAT without a model; there
+			// are no v-lines to print (rerun with -assign for a model).
+			fmt.Println("s SATISFIABLE")
+		} else if err := dimacs.WriteSolution(os.Stdout, r.Status.String(), r.Assignment); err != nil {
 			fatal(err)
 		}
-		return
+	} else {
+		switch {
+		case r.Status == repro.StatusSat && r.Assignment != nil:
+			fmt.Printf("SAT with %s (verified: %v)\n", r.Assignment, r.Assignment.Satisfies(f))
+		case r.Status == repro.StatusSat:
+			fmt.Println("SAT")
+		case r.Status == repro.StatusUnsat:
+			fmt.Println("UNSAT")
+		default:
+			fmt.Println("UNKNOWN")
+		}
 	}
-	if !ok {
-		fmt.Println("UNSAT")
-		return
+	switch r.Status {
+	case repro.StatusSat:
+		os.Exit(exitSat)
+	case repro.StatusUnsat:
+		os.Exit(exitUnsat)
+	default:
+		os.Exit(exitUnknown)
 	}
-	fmt.Printf("SAT with %s (verified: %v)\n", a, a.Satisfies(f))
 }
 
-func readInstance(path string) (*cnf.Formula, error) {
+func readInstance(path string) (*repro.Formula, error) {
 	if path == "" {
-		return dimacs.Read(os.Stdin)
+		return repro.ReadDIMACS(os.Stdin)
 	}
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer file.Close()
-	return dimacs.Read(file)
+	return repro.ReadDIMACS(file)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "nblsat:", err)
-	os.Exit(2)
+	os.Exit(exitError)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -89,8 +90,12 @@ func checkEquivalence(name string, build func(*logic.Circuit)) {
 	fmt.Printf("%s: miter CNF has %d variables, %d clauses\n",
 		name, f.NumVars, f.NumClauses())
 
-	// CDCL verdict (fast, complete).
-	model, sat := repro.SolveCDCL(f)
+	// CDCL verdict (fast, complete), through the unified registry.
+	r, err := repro.Solve(context.Background(), "cdcl", f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sat := r.Status == repro.StatusSat
 	// NBL exact verdict must agree (the miter CNF is too large for the
 	// Monte-Carlo engine's SNR — exactly the Section III-F limit — so
 	// the idealized engine stands in for it; see EXPERIMENTS.md).
@@ -105,7 +110,7 @@ func checkEquivalence(name string, build func(*logic.Circuit)) {
 	}
 	var inputs []bool
 	for _, iv := range enc.InputVars {
-		inputs = append(inputs, model.Get(iv) == repro.True)
+		inputs = append(inputs, r.Assignment.Get(iv) == repro.True)
 	}
 	fmt.Printf("%s: miter SAT -> circuits DIFFER on input %v\n", name, inputs)
 	fmt.Printf("  golden outputs: %v\n  buggy outputs:  %v\n\n",

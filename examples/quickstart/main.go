@@ -1,12 +1,15 @@
-// Quickstart: decide a small CNF with the NBL-SAT Monte-Carlo engine
-// (Algorithm 1) and recover a satisfying assignment (Algorithm 2).
+// Quickstart: decide a small CNF through the unified solver registry —
+// one interface for the paper's NBL engines (Algorithms 1 and 2) and
+// the classical baselines, plus a parallel portfolio racing them.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -16,45 +19,57 @@ func main() {
 	// Satisfiable, with models x1·!x2 and !x1·x2.
 	f := repro.FromClauses([]int{1, 2}, []int{-1, -2})
 	fmt.Println("instance:", f)
+	fmt.Println("engines: ", repro.Engines())
 
-	// The engine simulates 2·n·m independent noise sources and estimates
-	// the mean of S_N = tau_N · Sigma_N. Unit-variance sources keep the
-	// mean at the weighted model count K' (no (1/12)^(nm) underflow).
-	eng, err := repro.NewEngine(f, repro.Options{
-		Family:     repro.UniformUnit,
-		Seed:       42,
-		MaxSamples: 1_000_000,
-	})
+	// The Monte-Carlo NBL engine simulates 2·n·m independent noise
+	// sources and estimates the mean of S_N = tau_N · Sigma_N
+	// (Algorithm 1); WithModel additionally recovers a satisfying
+	// assignment with n more reduced checks (Algorithm 2).
+	mc, err := repro.New("mc",
+		repro.WithSeed(42),
+		repro.WithMaxSamples(1_000_000),
+		repro.WithModel(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Algorithm 1: SAT/UNSAT in a single check operation.
-	r := eng.Check()
-	fmt.Println("check:   ", r)
-
-	// Algorithm 2: a satisfying assignment in n more checks.
-	res, err := eng.Assign()
+	r, err := mc.Solve(context.Background(), f)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("assign:   %s (recovered in %d NBL checks; verified: %v)\n",
-		res.Assignment, len(res.Checks), res.Verified)
+	fmt.Printf("mc:        %v after %d samples\n", r, r.Stats.Samples)
 
-	// Cross-check against the idealized infinite-sample engine and the
-	// classical baselines.
-	fmt.Println("exact:   ", repro.ExactCheck(f))
-	_, okDPLL := repro.SolveDPLL(f)
-	_, okCDCL := repro.SolveCDCL(f)
-	fmt.Println("dpll:    ", okDPLL, " cdcl:", okCDCL)
+	// Every other engine answers through the same call. The complete
+	// baselines certify UNSAT too and always return a model on SAT.
+	for _, name := range []string{"exact", "cdcl", "dpll"} {
+		r, err := repro.Solve(context.Background(), name, f, repro.WithSeed(42))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %v\n", name+":", r)
+	}
+
+	// The portfolio races a lineup in parallel goroutines and returns
+	// the first definitive verdict, cancelling the losers. Deadlines
+	// propagate into every engine's hot loop.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	race, err := repro.New("portfolio", repro.WithMembers("mc", "cdcl", "walksat"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err = race.Solve(ctx, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("portfolio: %v (winner: %s)\n", r, r.Engine)
 
 	// And the paper's UNSAT example: S = (x1) · (!x1).
 	g := repro.PaperExample7()
-	eng2, err := repro.NewEngine(g, repro.Options{
-		Family: repro.UniformUnit, Seed: 43, MaxSamples: 1_000_000,
-	})
+	r, err = repro.Solve(context.Background(), "mc", g,
+		repro.WithSeed(43), repro.WithMaxSamples(1_000_000))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("unsat instance %s -> %v\n", g, eng2.Check())
+	fmt.Printf("unsat instance %s -> %v (mean %.3g)\n", g, r.Status, r.Stats.Mean)
 }

@@ -1,6 +1,7 @@
 package analog
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cnf"
@@ -193,12 +194,35 @@ type CheckResult struct {
 // the same mean-above-zero decision as the mathematical engine
 // (theta standard errors).
 func (e *Engine) Check(steps int64, theta float64) CheckResult {
-	e.Net.Run(steps)
+	r, _ := e.CheckCtx(context.Background(), steps, theta)
+	return r
+}
+
+// CheckCtx is Check with cancellation: the simulation advances in short
+// bursts, polling ctx between them, and returns the partial CheckResult
+// with ctx.Err() when the context ends.
+func (e *Engine) CheckCtx(ctx context.Context, steps int64, theta float64) (CheckResult, error) {
+	const burst = 4096
+	for done := int64(0); done < steps; {
+		if err := ctx.Err(); err != nil {
+			return CheckResult{
+				Mean:    e.Corr.Mean(),
+				StdErr:  e.Corr.StdErr(),
+				Samples: e.Corr.Count(),
+			}, err
+		}
+		run := steps - done
+		if run > burst {
+			run = burst
+		}
+		e.Net.Run(run)
+		done += run
+	}
 	z := e.Corr.ZScore()
 	return CheckResult{
 		Satisfiable: z > theta,
 		Mean:        e.Corr.Mean(),
 		StdErr:      e.Corr.StdErr(),
 		Samples:     e.Corr.Count(),
-	}
+	}, nil
 }

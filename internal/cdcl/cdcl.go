@@ -10,6 +10,8 @@
 package cdcl
 
 import (
+	"context"
+
 	"repro/internal/cnf"
 )
 
@@ -317,19 +319,33 @@ func luby(i int64) int64 {
 // Solve runs the CDCL search to completion. It returns a satisfying
 // assignment and true, or nil and false for UNSAT.
 func (s *Solver) Solve() (cnf.Assignment, bool) {
+	a, ok, _ := s.SolveCtx(context.Background())
+	return a, ok
+}
+
+// SolveCtx runs the search under a context: cancellation is polled once
+// per propagate/decide iteration and aborts the search with ctx.Err().
+// A non-nil error means the verdict is unknown, not UNSAT.
+func (s *Solver) SolveCtx(ctx context.Context) (cnf.Assignment, bool, error) {
 	if s.unsat {
-		return nil, false
+		return nil, false, nil
 	}
 	const restartBase = 100
 	restartNum := int64(1)
 	conflictsUntilRestart := luby(restartNum) * restartBase
 
+	var iter int64
 	for {
+		if iter++; iter&63 == 1 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		}
 		confl := s.propagate()
 		if confl >= 0 {
 			s.stats.Conflicts++
 			if s.decisionLevel() == 0 {
-				return nil, false
+				return nil, false, nil
 			}
 			learned, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
@@ -363,7 +379,7 @@ func (s *Solver) Solve() (cnf.Assignment, bool) {
 			for i := 1; i <= s.nVars; i++ {
 				a.Set(cnf.Var(i), s.assign[i])
 			}
-			return a, true
+			return a, true, nil
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))

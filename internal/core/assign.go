@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -41,9 +42,19 @@ type AssignResult struct {
 // binding is kept; otherwise x_i must be 0 (the instance being known
 // satisfiable, per the paper's argument in Section III-E).
 func (e *Engine) Assign() (AssignResult, error) {
+	return e.AssignCtx(context.Background())
+}
+
+// AssignCtx is Assign with cancellation: every reduced check polls ctx,
+// so the n+1-check loop aborts with ctx.Err() as soon as the context
+// ends.
+func (e *Engine) AssignCtx(ctx context.Context) (AssignResult, error) {
 	var out AssignResult
-	first := e.Check()
+	first, err := e.CheckCtx(ctx)
 	out.Checks = append(out.Checks, first)
+	if err != nil {
+		return out, err
+	}
 	if !first.Satisfiable {
 		return out, ErrUnsat
 	}
@@ -51,8 +62,11 @@ func (e *Engine) Assign() (AssignResult, error) {
 	bound := cnf.NewAssignment(e.f.NumVars)
 	for v := 1; v <= e.f.NumVars; v++ {
 		bound.Set(cnf.Var(v), cnf.True)
-		r := e.CheckBound(bound)
+		r, err := e.CheckBoundCtx(ctx, bound)
 		out.Checks = append(out.Checks, r)
+		if err != nil {
+			return out, err
+		}
 		if !r.Satisfiable {
 			bound.Set(cnf.Var(v), cnf.False)
 		}

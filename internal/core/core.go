@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -138,37 +139,51 @@ func (e *Engine) Check() Result {
 	return e.CheckBound(cnf.NewAssignment(e.f.NumVars))
 }
 
+// CheckCtx is Check with cancellation: the sampler polls ctx between
+// convergence rounds and the partial Result plus ctx.Err() are returned
+// when the context ends before the decision.
+func (e *Engine) CheckCtx(ctx context.Context) (Result, error) {
+	return e.CheckBoundCtx(ctx, cnf.NewAssignment(e.f.NumVars))
+}
+
 // CheckBound runs Algorithm 1 on the hyperspace reduced by the given
 // variable bindings (tau_N with bound variables fixed, Sigma_N
 // untouched), the primitive that Algorithm 2 iterates.
 func (e *Engine) CheckBound(bound cnf.Assignment) Result {
+	r, _ := e.CheckBoundCtx(context.Background(), bound)
+	return r
+}
+
+// CheckBoundCtx is CheckBound with cancellation.
+func (e *Engine) CheckBoundCtx(ctx context.Context, bound cnf.Assignment) (Result, error) {
 	// Degenerate formulas need no noise: no clauses means SAT (m >= 1 is
 	// required by the bank); an empty clause is structurally UNSAT and
 	// would only slow the sampler down (Sigma_N ≡ 0).
 	if e.f.NumClauses() == 0 {
-		return Result{Satisfiable: true, Converged: true}
+		return Result{Satisfiable: true, Converged: true}, nil
 	}
 	for _, c := range e.f.Clauses {
 		if len(c) == 0 {
-			return Result{Satisfiable: false, Converged: true}
+			return Result{Satisfiable: false, Converged: true}, nil
 		}
 	}
 
 	e.checkSeq++
-	mean, stderr, samples, converged := e.sample(bound, e.checkSeq)
+	mean, stderr, samples, converged, err := e.sample(ctx, bound, e.checkSeq)
 
 	z := 0.0
 	if stderr > 0 {
 		z = mean / stderr
 	}
-	return Result{
-		Satisfiable: z > e.opts.Theta,
+	r := Result{
+		Satisfiable: err == nil && z > e.opts.Theta,
 		Mean:        mean,
 		StdErr:      stderr,
 		ZScore:      z,
 		Samples:     samples,
 		Converged:   converged,
 	}
+	return r, err
 }
 
 // MeanTrace runs the sampler on the unreduced hyperspace and records the

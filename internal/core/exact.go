@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -9,10 +10,11 @@ import (
 	"repro/internal/noise"
 )
 
-// maxExactVars bounds the exhaustive enumeration behind the exact
-// engine. NBL simulation is itself limited to small n·m by its SNR
+// MaxExactVars bounds the exhaustive enumeration behind the exact
+// engine (and everything built on it, like the hybrid coprocessor).
+// NBL simulation is itself limited to small n·m by its SNR
 // (Section III-F), so this is not the binding constraint in practice.
-const maxExactVars = 28
+const MaxExactVars = 28
 
 // WeightedCount returns K'(f, bound): the sum over satisfying
 // assignments consistent with the bindings of the product over clauses
@@ -22,13 +24,26 @@ const maxExactVars = 28
 // satisfies clause j, so its self-correlation is counted with that
 // multiplicity.
 func WeightedCount(f *cnf.Formula, bound cnf.Assignment) *big.Int {
+	total, _ := WeightedCountCtx(context.Background(), f, bound)
+	return total
+}
+
+// WeightedCountCtx is WeightedCount with cancellation: the 2^n minterm
+// enumeration polls ctx every few thousand assignments and returns the
+// partial sum with ctx.Err() when the context ends.
+func WeightedCountCtx(ctx context.Context, f *cnf.Formula, bound cnf.Assignment) (*big.Int, error) {
 	n := f.NumVars
-	if n > maxExactVars {
-		panic(fmt.Sprintf("core: exact engine limited to %d variables, got %d", maxExactVars, n))
+	if n > MaxExactVars {
+		panic(fmt.Sprintf("core: exact engine limited to %d variables, got %d", MaxExactVars, n))
 	}
 	total := new(big.Int)
 	w := new(big.Int)
 	for bits := uint64(0); bits < 1<<n; bits++ {
+		if bits&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+		}
 		consistent := true
 		for v := 1; v <= n; v++ {
 			want := bound.Get(cnf.Var(v))
@@ -56,7 +71,7 @@ func WeightedCount(f *cnf.Formula, bound cnf.Assignment) *big.Int {
 			total.Add(total, w)
 		}
 	}
-	return total
+	return total, nil
 }
 
 // ExactMean returns the closed-form E[S_N] = K'·sigma^(2nm) for the
@@ -85,15 +100,30 @@ func ExactCheckBound(f *cnf.Formula, bound cnf.Assignment) bool {
 // iterative binding procedure with an infinite-sample oracle. The bool
 // reports satisfiability; when false the assignment is nil.
 func ExactAssign(f *cnf.Formula) (cnf.Assignment, bool) {
-	if !ExactCheck(f) {
-		return nil, false
+	a, ok, _ := ExactAssignCtx(context.Background(), f)
+	return a, ok
+}
+
+// ExactAssignCtx is ExactAssign with cancellation threaded through every
+// reduced exact check.
+func ExactAssignCtx(ctx context.Context, f *cnf.Formula) (cnf.Assignment, bool, error) {
+	k, err := WeightedCountCtx(ctx, f, cnf.NewAssignment(f.NumVars))
+	if err != nil {
+		return nil, false, err
+	}
+	if k.Sign() <= 0 {
+		return nil, false, nil
 	}
 	bound := cnf.NewAssignment(f.NumVars)
 	for v := 1; v <= f.NumVars; v++ {
 		bound.Set(cnf.Var(v), cnf.True)
-		if !ExactCheckBound(f, bound) {
+		k, err = WeightedCountCtx(ctx, f, bound)
+		if err != nil {
+			return nil, false, err
+		}
+		if k.Sign() <= 0 {
 			bound.Set(cnf.Var(v), cnf.False)
 		}
 	}
-	return bound, true
+	return bound, true, nil
 }

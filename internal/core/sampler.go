@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/cnf"
@@ -26,8 +27,11 @@ func (e *Engine) newEvaluator(bound cnf.Assignment, seq uint64, worker int) *hyp
 // each, merging their accumulators between rounds and applying the
 // significant-digit convergence rule. The returned values are the final
 // mean, its standard error, total samples, and whether the convergence
-// rule (rather than the budget) stopped the run.
-func (e *Engine) sample(bound cnf.Assignment, seq uint64) (mean, stderr float64, samples int64, converged bool) {
+// rule (rather than the budget) stopped the run. Cancellation is polled
+// at two levels — between rounds, and every few hundred samples inside
+// each worker's loop (large instances make single rounds span seconds) —
+// and a done context returns the partial statistics with ctx.Err().
+func (e *Engine) sample(ctx context.Context, bound cnf.Assignment, seq uint64) (mean, stderr float64, samples int64, converged bool, err error) {
 	workers := e.opts.Workers
 	evs := make([]*hyperspace.Evaluator, workers)
 	for w := 0; w < workers; w++ {
@@ -49,6 +53,9 @@ func (e *Engine) sample(bound cnf.Assignment, seq uint64) (mean, stderr float64,
 
 	partial := make([]stats.Welford, workers)
 	for total.Count() < e.opts.MaxSamples {
+		if err = ctx.Err(); err != nil {
+			return total.Mean(), total.StdErr(), total.Count(), false, err
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -58,6 +65,15 @@ func (e *Engine) sample(bound cnf.Assignment, seq uint64) (mean, stderr float64,
 				*acc = stats.Welford{}
 				ev := evs[w]
 				for i := int64(0); i < share; i++ {
+					// On large instances a single round can take seconds;
+					// poll cancellation inside it so a lost portfolio race
+					// does not keep burning a full round. The caller
+					// re-checks ctx after merging, so an abbreviated round
+					// always surfaces as an error and deterministic replay
+					// of successful runs is preserved.
+					if i&0xff == 0 && ctx.Err() != nil {
+						return
+					}
 					acc.Add(ev.Step().S)
 				}
 			}(w)
@@ -66,11 +82,17 @@ func (e *Engine) sample(bound cnf.Assignment, seq uint64) (mean, stderr float64,
 		for w := 0; w < workers; w++ {
 			total.Merge(partial[w])
 		}
+		// Re-check after the round: workers abbreviate their share on
+		// cancellation, and a truncated round must surface as an error,
+		// never feed the convergence rule as if it were a full round.
+		if err = ctx.Err(); err != nil {
+			return total.Mean(), total.StdErr(), total.Count(), false, err
+		}
 		if total.Count() >= e.opts.MinSamples &&
 			conv.Check(total.Mean(), total.Count()) {
 			converged = total.Count() < e.opts.MaxSamples
 			break
 		}
 	}
-	return total.Mean(), total.StdErr(), total.Count(), converged
+	return total.Mean(), total.StdErr(), total.Count(), converged, nil
 }

@@ -10,6 +10,8 @@
 package dpll
 
 import (
+	"context"
+
 	"repro/internal/cnf"
 )
 
@@ -38,6 +40,9 @@ type Solver struct {
 	f     *cnf.Formula
 	b     Brancher
 	stats Stats
+
+	ctx    context.Context
+	ctxErr error
 }
 
 // New returns a solver for f using the given brancher (nil selects
@@ -52,8 +57,21 @@ func New(f *cnf.Formula, b Brancher) *Solver {
 // Solve runs the search. It returns a satisfying assignment and true, or
 // nil and false when the formula is unsatisfiable.
 func (s *Solver) Solve() (cnf.Assignment, bool) {
+	a, ok, _ := s.SolveCtx(context.Background())
+	return a, ok
+}
+
+// SolveCtx runs the search under a context: cancellation is polled at
+// every search node and aborts the recursion with ctx.Err(). A non-nil
+// error means the verdict is unknown, not UNSAT.
+func (s *Solver) SolveCtx(ctx context.Context) (cnf.Assignment, bool, error) {
+	s.ctx, s.ctxErr = ctx, nil
 	a := cnf.NewAssignment(s.f.NumVars)
-	if s.solve(a) {
+	ok := s.solve(a)
+	if s.ctxErr != nil {
+		return nil, false, s.ctxErr
+	}
+	if ok {
 		// Complete the assignment: variables never touched by the search
 		// (unconstrained) default to false.
 		for v := 1; v <= s.f.NumVars; v++ {
@@ -61,9 +79,9 @@ func (s *Solver) Solve() (cnf.Assignment, bool) {
 				a.Set(cnf.Var(v), cnf.False)
 			}
 		}
-		return a, true
+		return a, true, nil
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // Stats returns the effort counters of the last Solve.
@@ -75,6 +93,20 @@ func Solve(f *cnf.Formula) (cnf.Assignment, bool) {
 }
 
 func (s *Solver) solve(a cnf.Assignment) bool {
+	if s.ctxErr != nil {
+		return false
+	}
+	// Poll at every node: propagation below scans the whole clause list,
+	// so the ctx check is noise, and a coarser stride would let a search
+	// whose residual tree is small (e.g. a hybrid brancher degrading to
+	// syntactic picks after its probes are cancelled) run to completion
+	// instead of surfacing the cancellation.
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			return false
+		}
+	}
 	var trail []cnf.Var
 	undo := func() {
 		for _, v := range trail {
@@ -181,6 +213,9 @@ func (s *Solver) solve(a cnf.Assignment) bool {
 			return true
 		}
 		a.Set(v, cnf.Unassigned)
+		if s.ctxErr != nil {
+			break
+		}
 	}
 	undo()
 	return false

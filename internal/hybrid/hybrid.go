@@ -13,6 +13,7 @@
 package hybrid
 
 import (
+	"context"
 	"math/big"
 
 	"repro/internal/cnf"
@@ -22,9 +23,11 @@ import (
 
 // Coprocessor estimates the S_N mean of the hyperspace reduced by a
 // partial assignment. Larger means indicate more satisfying minterms in
-// the subspace.
+// the subspace. Implementations must honor ctx: when it ends they may
+// return any value (the host search is being cancelled anyway), but they
+// must return promptly.
 type Coprocessor interface {
-	MeanEstimate(bound cnf.Assignment) float64
+	MeanEstimate(ctx context.Context, bound cnf.Assignment) float64
 }
 
 // MC is a Monte-Carlo coprocessor backed by the core engine: each probe
@@ -36,9 +39,10 @@ type MC struct {
 }
 
 // MeanEstimate implements Coprocessor.
-func (m *MC) MeanEstimate(bound cnf.Assignment) float64 {
+func (m *MC) MeanEstimate(ctx context.Context, bound cnf.Assignment) float64 {
 	m.Probes++
-	return m.Engine.CheckBound(bound).Mean
+	r, _ := m.Engine.CheckBoundCtx(ctx, bound)
+	return r.Mean
 }
 
 // Exact is the idealized infinite-sample coprocessor: it returns the
@@ -51,9 +55,13 @@ type Exact struct {
 }
 
 // MeanEstimate implements Coprocessor.
-func (e *Exact) MeanEstimate(bound cnf.Assignment) float64 {
+func (e *Exact) MeanEstimate(ctx context.Context, bound cnf.Assignment) float64 {
 	e.Probes++
-	k, _ := new(big.Float).SetInt(core.WeightedCount(e.F, bound)).Float64()
+	count, err := core.WeightedCountCtx(ctx, e.F, bound)
+	if err != nil {
+		return 0
+	}
+	k, _ := new(big.Float).SetInt(count).Float64()
 	return k
 }
 
@@ -69,12 +77,23 @@ type Brancher struct {
 	// Candidates, when > 0, bounds how many unassigned variables are
 	// probed per decision (taken from unsatisfied clauses first).
 	Candidates int
+	// Ctx bounds every coprocessor probe; nil means background. The
+	// hosting DPLL search polls the same context, so a cancelled Ctx
+	// aborts both the probes and the search.
+	Ctx context.Context
 }
 
 // Pick implements dpll.Brancher.
 func (b *Brancher) Pick(f *cnf.Formula, a cnf.Assignment) (cnf.Var, cnf.Value) {
+	ctx := b.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cands := candidateVars(f, a, b.Candidates)
-	if len(cands) == 0 {
+	if len(cands) == 0 || ctx.Err() != nil {
+		// No candidates, or the run is being cancelled: skip the probe
+		// sweep and let the host search (which polls the same context)
+		// wind down on the syntactic heuristic.
 		return dpll.FirstUnassigned{}.Pick(f, a)
 	}
 	bound := a.Clone()
@@ -82,7 +101,7 @@ func (b *Brancher) Pick(f *cnf.Formula, a cnf.Assignment) (cnf.Var, cnf.Value) {
 	for _, v := range cands {
 		for _, val := range []cnf.Value{cnf.True, cnf.False} {
 			bound.Set(v, val)
-			if est := b.Cop.MeanEstimate(bound); est > bestMean {
+			if est := b.Cop.MeanEstimate(ctx, bound); est > bestMean {
 				bestVar, bestVal, bestMean = v, val, est
 			}
 		}
@@ -134,21 +153,40 @@ type Result struct {
 
 // SolveExact runs DPLL guided by the idealized exact coprocessor.
 func SolveExact(f *cnf.Formula) Result {
+	r, _ := SolveExactCtx(context.Background(), f)
+	return r
+}
+
+// SolveExactCtx is SolveExact with cancellation threaded through both
+// the DPLL search and the coprocessor probes. A non-nil error means the
+// verdict is unknown, not UNSAT.
+func SolveExactCtx(ctx context.Context, f *cnf.Formula) (Result, error) {
 	cop := &Exact{F: f}
-	s := dpll.New(f, &Brancher{Cop: cop})
-	a, ok := s.Solve()
-	return Result{Assignment: a, Satisfiable: ok, DPLL: s.Stats(), Probes: cop.Probes}
+	r, err := solveCtx(ctx, f, cop, 0)
+	r.Probes = cop.Probes
+	return r, err
 }
 
 // SolveMC runs DPLL guided by a Monte-Carlo coprocessor built from the
 // given engine options.
 func SolveMC(f *cnf.Formula, opts core.Options) (Result, error) {
+	return SolveMCCtx(context.Background(), f, opts)
+}
+
+// SolveMCCtx is SolveMC with cancellation.
+func SolveMCCtx(ctx context.Context, f *cnf.Formula, opts core.Options) (Result, error) {
 	eng, err := core.NewEngine(f, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	cop := &MC{Engine: eng}
-	s := dpll.New(f, &Brancher{Cop: cop})
-	a, ok := s.Solve()
-	return Result{Assignment: a, Satisfiable: ok, DPLL: s.Stats(), Probes: cop.Probes}, nil
+	r, err := solveCtx(ctx, f, cop, 0)
+	r.Probes = cop.Probes
+	return r, err
+}
+
+func solveCtx(ctx context.Context, f *cnf.Formula, cop Coprocessor, candidates int) (Result, error) {
+	s := dpll.New(f, &Brancher{Cop: cop, Candidates: candidates, Ctx: ctx})
+	a, ok, err := s.SolveCtx(ctx)
+	return Result{Assignment: a, Satisfiable: ok, DPLL: s.Stats()}, err
 }

@@ -1,0 +1,135 @@
+// Package portfolio implements a parallel portfolio solver over the
+// engine registry: it races any set of registered engines on the same
+// formula in separate goroutines and returns the first definitive
+// verdict (SAT or UNSAT), cancelling the losers through their contexts.
+//
+// This is the multi-backend scaling lever the paper's Section IV
+// comparison implies: complete search (cdcl), stochastic local search
+// (walksat) and the NBL Monte-Carlo engine have wildly different cost
+// profiles per instance, and racing them buys the minimum of the three
+// runtimes for the price of a few goroutines. Because every engine
+// honors context cancellation in its hot loop, the portfolio's losers
+// stop within a bounded amount of extra work.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// DefaultMembers is the lineup raced when none is configured: a complete
+// solver that certifies both verdicts, the paper's Monte-Carlo NBL
+// engine, and a local-search sprinter for easy satisfiable instances.
+var DefaultMembers = []string{"cdcl", "mc", "walksat"}
+
+func init() {
+	solver.Register("portfolio", func(cfg solver.Config) solver.Solver {
+		return New(cfg)
+	})
+}
+
+// Portfolio races a set of registry engines. Construct with New or via
+// solver.New("portfolio", solver.WithMembers(...)).
+type Portfolio struct {
+	cfg solver.Config
+}
+
+// New returns a portfolio over cfg.Members (DefaultMembers when empty).
+// Every member inherits cfg, so one Config seeds and budgets the whole
+// lineup.
+func New(cfg solver.Config) *Portfolio {
+	return &Portfolio{cfg: cfg}
+}
+
+// Solve implements solver.Solver. The first member to return a
+// definitive Status wins: its Result is returned with Engine naming the
+// winning member and the losers' effort counters folded into Stats.
+// When no member is definitive (e.g. a lineup of local searchers on an
+// unsatisfiable instance) the combined Result has StatusUnknown, and
+// any member's genuine failure (a rejected instance, a bad config — not
+// a cancelled loser) surfaces as the error so a misconfigured lineup is
+// never mistaken for an honest budget-exhausted unknown.
+func (p *Portfolio) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	members := p.cfg.Members
+	if len(members) == 0 {
+		members = DefaultMembers
+	}
+	solvers := make([]solver.Solver, len(members))
+	for i, name := range members {
+		if name == "portfolio" {
+			return solver.Result{}, fmt.Errorf("portfolio: cannot nest itself as a member")
+		}
+		s, err := solver.NewWith(name, p.cfg)
+		if err != nil {
+			return solver.Result{}, err
+		}
+		solvers[i] = s
+	}
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		r   solver.Result
+		err error
+	}
+	results := make(chan outcome, len(solvers))
+	for _, s := range solvers {
+		go func(s solver.Solver) {
+			r, err := s.Solve(raceCtx, f)
+			results <- outcome{r, err}
+		}(s)
+	}
+
+	var (
+		winner    outcome
+		won       bool
+		agg       solver.Stats
+		unknown   bool
+		memberErr error
+	)
+	// Collect every member before returning: after cancel() the losers
+	// abort within one hot-loop poll, so this wait is bounded and leaves
+	// no goroutine running past Solve.
+	for range solvers {
+		o := <-results
+		if !won && o.err == nil && o.r.Status.Definitive() {
+			winner, won = o, true
+			cancel()
+			continue
+		}
+		// Stats.Add sums only the counters; keep the first sampling
+		// member's statistic so a no-winner Result still reports the
+		// S_N mean that was actually measured.
+		if agg.StdErr == 0 && o.r.Stats.StdErr != 0 {
+			agg.Mean, agg.StdErr = o.r.Stats.Mean, o.r.Stats.StdErr
+		}
+		agg.Add(o.r.Stats)
+		switch {
+		case o.err == nil:
+			unknown = true
+		case raceCtx.Err() != nil && ctx.Err() == nil:
+			// Cancelled loser, not a real failure.
+		case memberErr == nil:
+			memberErr = fmt.Errorf("portfolio %s: %w", o.r.Engine, o.err)
+		}
+	}
+
+	if won {
+		r := winner.r
+		r.Stats.Add(agg) // total effort across the race
+		return r, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return solver.Result{Stats: agg}, err
+	}
+	if unknown && memberErr == nil {
+		// Every member completed its budget without a verdict: an honest
+		// shrug, not a failure.
+		return solver.Result{Status: solver.StatusUnknown, Stats: agg}, nil
+	}
+	return solver.Result{Stats: agg}, memberErr
+}

@@ -1,0 +1,34 @@
+package rtw
+
+import (
+	"context"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+func init() {
+	solver.Register("rtw", func(cfg solver.Config) solver.Solver {
+		return solver.Func(func(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+			if cfg.FindModel {
+				return solver.Result{}, solver.ErrNoModelRecovery("rtw")
+			}
+			eng, err := New(f, cfg.Seed)
+			if err != nil {
+				return solver.Result{}, err
+			}
+			r, err := eng.CheckCtx(ctx, cfg.MaxSamples, cfg.Theta)
+			out := solver.Result{
+				Stats: solver.Stats{Samples: r.Samples, Mean: r.Mean, StdErr: r.StdErr},
+			}
+			if err != nil {
+				return out, err
+			}
+			// The shared SNR gate is conservative for RTW, whose ±1
+			// carriers need fewer samples than uniform sources.
+			out.Status = core.CheckStatus(r.Satisfiable, f.NumVars, f.NumClauses(), r.Samples)
+			return out, nil
+		})
+	})
+}

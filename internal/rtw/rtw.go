@@ -11,6 +11,7 @@
 package rtw
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -143,8 +144,21 @@ type Result struct {
 // Check estimates mean(S_N) over the given number of samples and applies
 // the theta-standard-errors decision rule of the core engine.
 func (e *Engine) Check(samples int64, theta float64) Result {
+	r, _ := e.CheckCtx(context.Background(), samples, theta)
+	return r
+}
+
+// CheckCtx is Check with cancellation: the sampling loop polls ctx every
+// few thousand samples and returns the partial Result with ctx.Err()
+// when the context ends.
+func (e *Engine) CheckCtx(ctx context.Context, samples int64, theta float64) (Result, error) {
 	var w stats.Welford
 	for i := int64(0); i < samples; i++ {
+		if i&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{Mean: w.Mean(), StdErr: w.StdErr(), Samples: w.Count()}, err
+			}
+		}
 		w.Add(float64(e.Step()))
 	}
 	se := w.StdErr()
@@ -155,5 +169,5 @@ func (e *Engine) Check(samples int64, theta float64) Result {
 		// Zero variance with a positive mean: every sample agreed.
 		sat = true
 	}
-	return Result{Satisfiable: sat, Mean: w.Mean(), StdErr: se, Samples: w.Count()}
+	return Result{Satisfiable: sat, Mean: w.Mean(), StdErr: se, Samples: w.Count()}, nil
 }

@@ -25,6 +25,7 @@
 package sbl
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -202,6 +203,14 @@ type Result struct {
 // Check runs the SBL engine over min(Period, MaxSamples) samples and
 // thresholds the DC estimate.
 func (e *Engine) Check() Result {
+	r, _ := e.CheckCtx(context.Background())
+	return r
+}
+
+// CheckCtx is Check with cancellation: the observation loop polls ctx
+// every few thousand samples and returns the partial window with
+// ctx.Err() when the context ends.
+func (e *Engine) CheckCtx(ctx context.Context) (Result, error) {
 	window := e.period
 	full := true
 	if window > e.opts.MaxSamples {
@@ -210,6 +219,15 @@ func (e *Engine) Check() Result {
 	}
 	var sum float64
 	for i := int64(0); i < window; i++ {
+		if i&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				partial := Result{Samples: i}
+				if i > 0 {
+					partial.Mean = sum / float64(i)
+				}
+				return partial, err
+			}
+		}
 		sum += e.ev.Step().S
 	}
 	mean := sum / float64(window)
@@ -218,7 +236,7 @@ func (e *Engine) Check() Result {
 		Mean:        mean,
 		Samples:     window,
 		FullPeriod:  full,
-	}
+	}, nil
 }
 
 // Reset rewinds the carriers to t = 0 for a fresh observation.

@@ -1,0 +1,343 @@
+// Package solver defines the unified solving API every engine in the
+// repository implements, plus the name-keyed registry that makes the
+// engines discoverable at run time.
+//
+// The design collapses the historical per-engine entry points
+// (core.NewEngine(...).Check(), dpll.Solve(f), walksat.Solve(f, opts),
+// ...) into one interface:
+//
+//	Solve(ctx context.Context, f *cnf.Formula) (Result, error)
+//
+// with a three-valued Status (SAT / UNSAT / UNKNOWN), an optional model,
+// and a common Stats block. Engines register themselves under a short
+// name in an init function of their own package; anything that imports
+// the engine packages (the repro facade, the CLI, the portfolio racer)
+// can then construct any of them with New(name, opts...) and race or
+// swap them freely.
+//
+// Cancellation is part of the contract: every registered engine checks
+// ctx in its hot loop (sampling, search, flipping) and returns promptly
+// with ctx.Err() when the context is cancelled or its deadline expires.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Status is the three-valued verdict of a solve.
+type Status int8
+
+const (
+	// StatusUnknown means the engine could not decide within its budget
+	// (e.g. local search found no model, or the run was cancelled).
+	StatusUnknown Status = iota
+	// StatusSat means a satisfying assignment exists.
+	StatusSat
+	// StatusUnsat means no satisfying assignment exists.
+	StatusUnsat
+)
+
+// String names the status in SAT-competition vocabulary.
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "SATISFIABLE"
+	case StatusUnsat:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Definitive reports whether the status is a verdict (SAT or UNSAT)
+// rather than a shrug.
+func (s Status) Definitive() bool { return s == StatusSat || s == StatusUnsat }
+
+// Stats is the common effort block every engine fills in as far as its
+// notions apply; fields that do not apply stay zero.
+type Stats struct {
+	// Samples is the number of noise/carrier samples consumed (NBL
+	// engines) or simulation timesteps (analog).
+	Samples int64
+	// Decisions and Propagations count search effort (dpll, cdcl, hybrid).
+	Decisions    int64
+	Propagations int64
+	// Conflicts counts conflicts (cdcl) or backtracks (dpll, hybrid).
+	Conflicts int64
+	// Flips and Restarts count local-search effort (walksat).
+	Flips    int64
+	Restarts int64
+	// Probes counts NBL-coprocessor invocations (hybrid).
+	Probes int64
+	// Mean and StdErr describe the final S_N statistic (NBL engines).
+	Mean   float64
+	StdErr float64
+}
+
+// Add accumulates other into s field-wise (used by the portfolio to
+// report combined effort). Mean and StdErr are deliberately left alone:
+// they are statistics, not counters, and summing them across engines
+// would be meaningless — the caller decides whose statistic survives.
+func (s *Stats) Add(other Stats) {
+	s.Samples += other.Samples
+	s.Decisions += other.Decisions
+	s.Propagations += other.Propagations
+	s.Conflicts += other.Conflicts
+	s.Flips += other.Flips
+	s.Restarts += other.Restarts
+	s.Probes += other.Probes
+}
+
+// Result is the unified outcome of a solve.
+type Result struct {
+	// Status is the three-valued verdict.
+	Status Status
+	// Assignment is a satisfying assignment when Status is StatusSat and
+	// the engine produces models (complete engines always do; NBL check
+	// engines only under WithModel).
+	Assignment cnf.Assignment
+	// Engine is the registry name of the engine that produced the
+	// verdict. For a portfolio solve it names the winning member.
+	Engine string
+	// Wall is the wall-clock duration of the solve.
+	Wall time.Duration
+	// Stats is the engine's effort accounting.
+	Stats Stats
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("%s [%s %v]", r.Status, r.Engine, r.Wall.Round(time.Microsecond))
+	if r.Status == StatusSat && r.Assignment != nil {
+		s += " model " + r.Assignment.String()
+	}
+	return s
+}
+
+// Solver is the one interface every engine implements.
+//
+// Solve must honor ctx: on cancellation or deadline expiry it returns
+// promptly with a Result carrying whatever partial stats it has,
+// StatusUnknown, and ctx.Err().
+type Solver interface {
+	Solve(ctx context.Context, f *cnf.Formula) (Result, error)
+}
+
+// Func adapts a plain function to the Solver interface.
+type Func func(ctx context.Context, f *cnf.Formula) (Result, error)
+
+// Solve implements Solver.
+func (fn Func) Solve(ctx context.Context, f *cnf.Formula) (Result, error) {
+	return fn(ctx, f)
+}
+
+// Config carries every knob an engine may consult. Engines read the
+// fields they understand and ignore the rest, so one Config can
+// configure a whole portfolio.
+type Config struct {
+	// Seed seeds stochastic engines. Default 1.
+	Seed uint64
+	// MaxSamples is the sample/step budget of the NBL engines. Zero (or
+	// negative) selects the registry default of 4,000,000 — applied
+	// uniformly to every engine so portfolio members race on equal
+	// budgets; construct an engine via its own package to get its
+	// package-level default instead.
+	MaxSamples int64
+	// Theta is the SAT decision threshold in standard errors for the
+	// statistical engines. 0 selects the default (4).
+	Theta float64
+	// Workers is the Monte-Carlo engine's sampling parallelism.
+	Workers int
+	// Family selects the mc noise family: "half", "unit", "gauss", "rtw".
+	// Default "unit".
+	Family string
+	// Allocation selects the sbl carrier plan: "geometric4" or "linear".
+	Allocation string
+	// MaxFlips, Restarts and NoiseP configure walksat.
+	MaxFlips int
+	Restarts int
+	NoiseP   float64
+	// Candidates caps hybrid coprocessor probes per decision (0 = all).
+	Candidates int
+	// FindModel asks the mc engine to also run Algorithm 2 and return a
+	// satisfying assignment on SAT. Complete engines (exact, dpll, cdcl,
+	// hybrid) and walksat return a model regardless; the check-only NBL
+	// engines (rtw, sbl, analog) reject the option with an error rather
+	// than silently ignore it.
+	FindModel bool
+	// Members lists the engines a portfolio races. Empty selects the
+	// default lineup.
+	Members []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Family == "" {
+		c.Family = "unit"
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 4_000_000 // the core engine's per-check budget
+	}
+	if c.Theta == 0 {
+		c.Theta = 4
+	}
+	return c
+}
+
+// Option mutates a Config (functional options for New).
+type Option func(*Config)
+
+// WithSeed seeds stochastic engines.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithMaxSamples sets the sample/step budget of the NBL engines.
+func WithMaxSamples(n int64) Option { return func(c *Config) { c.MaxSamples = n } }
+
+// WithTheta sets the SAT decision threshold in standard errors.
+func WithTheta(theta float64) Option { return func(c *Config) { c.Theta = theta } }
+
+// WithWorkers sets the Monte-Carlo sampling parallelism.
+func WithWorkers(w int) Option { return func(c *Config) { c.Workers = w } }
+
+// WithFamily selects the mc noise family by name.
+func WithFamily(name string) Option { return func(c *Config) { c.Family = name } }
+
+// WithAllocation selects the sbl carrier frequency plan by name.
+func WithAllocation(name string) Option { return func(c *Config) { c.Allocation = name } }
+
+// WithMaxFlips bounds walksat flips per restart.
+func WithMaxFlips(n int) Option { return func(c *Config) { c.MaxFlips = n } }
+
+// WithRestarts sets the walksat restart count.
+func WithRestarts(n int) Option { return func(c *Config) { c.Restarts = n } }
+
+// WithNoiseP sets the walksat random-walk probability.
+func WithNoiseP(p float64) Option { return func(c *Config) { c.NoiseP = p } }
+
+// WithCandidates caps hybrid coprocessor probes per decision.
+func WithCandidates(n int) Option { return func(c *Config) { c.Candidates = n } }
+
+// WithModel asks check-style engines to also recover a model on SAT.
+func WithModel(find bool) Option { return func(c *Config) { c.FindModel = find } }
+
+// WithMembers sets the portfolio lineup.
+func WithMembers(names ...string) Option { return func(c *Config) { c.Members = names } }
+
+// CompleteResult maps a complete-search outcome onto a Result: a
+// non-nil error passes through (verdict unknown, partial stats kept), a
+// model means SAT, and a finished search without one is a certified
+// UNSAT. It is the shared adapter tail of the complete engines (dpll,
+// cdcl, hybrid).
+func CompleteResult(a cnf.Assignment, ok bool, err error, stats Stats) (Result, error) {
+	out := Result{Stats: stats}
+	if err != nil {
+		return out, err
+	}
+	if ok {
+		out.Status = StatusSat
+		out.Assignment = a
+	} else {
+		out.Status = StatusUnsat
+	}
+	return out, nil
+}
+
+// ErrNoModelRecovery is the error a check-only engine returns when
+// Config.FindModel is requested: the option must fail loudly rather
+// than be silently ignored.
+func ErrNoModelRecovery(engine string) error {
+	return fmt.Errorf(
+		"%s: model recovery (WithModel) is not implemented; use mc or a complete engine", engine)
+}
+
+// Factory builds a configured engine. Construction must not fail;
+// instance-dependent validation belongs in Solve (the formula is not
+// known yet at construction time).
+type Factory func(cfg Config) Solver
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs an engine factory under a name. It panics on a
+// duplicate name: engine names are a flat public namespace and a silent
+// overwrite would make solver behavior import-order dependent.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solver: Register called twice for %q", name))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("solver: Register %q with nil factory", name))
+	}
+	registry[name] = f
+}
+
+// Engines returns the sorted names of all registered engines.
+func Engines() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named engine with the given options applied over the
+// defaults. The returned Solver stamps Result.Engine and Result.Wall and
+// short-circuits on an already-cancelled context, so individual engines
+// need not repeat either.
+func New(name string, opts ...Option) (Solver, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewWith(name, cfg)
+}
+
+// NewWith is New with an explicit Config — the portfolio uses it to
+// propagate one shared Config to every member.
+func NewWith(name string, cfg Config) (Solver, error) {
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown engine %q (registered: %v)", name, Engines())
+	}
+	return &named{name: name, impl: factory(cfg.withDefaults())}, nil
+}
+
+// named wraps an engine with the bookkeeping common to all of them.
+type named struct {
+	name string
+	impl Solver
+}
+
+func (n *named) Solve(ctx context.Context, f *cnf.Formula) (Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{Engine: n.name, Wall: time.Since(start)}, err
+	}
+	r, err := n.impl.Solve(ctx, f)
+	if r.Engine == "" {
+		// The portfolio sets Engine to the winning member; everyone else
+		// leaves it blank for the wrapper to fill.
+		r.Engine = n.name
+	}
+	r.Wall = time.Since(start)
+	if err != nil {
+		r.Status = StatusUnknown
+	}
+	return r, err
+}

@@ -1,0 +1,107 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+func init() {
+	Register("test-fake", func(cfg Config) Solver {
+		return Func(func(ctx context.Context, f *cnf.Formula) (Result, error) {
+			return Result{Status: StatusSat, Stats: Stats{Decisions: int64(cfg.Seed)}}, nil
+		})
+	})
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusSat:     "SATISFIABLE",
+		StatusUnsat:   "UNSATISFIABLE",
+		StatusUnknown: "UNKNOWN",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+	if StatusUnknown.Definitive() {
+		t.Error("UNKNOWN must not be definitive")
+	}
+	if !StatusSat.Definitive() || !StatusUnsat.Definitive() {
+		t.Error("SAT and UNSAT must be definitive")
+	}
+}
+
+func TestNewUnknownEngine(t *testing.T) {
+	if _, err := New("no-such-engine"); err == nil {
+		t.Fatal("expected error for unknown engine")
+	} else if !strings.Contains(err.Error(), "no-such-engine") {
+		t.Errorf("error should name the engine: %v", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate Register")
+		}
+	}()
+	Register("test-fake", func(Config) Solver { return nil })
+}
+
+func TestEnginesSortedAndContainsRegistered(t *testing.T) {
+	names := Engines()
+	found := false
+	for i, n := range names {
+		if n == "test-fake" {
+			found = true
+		}
+		if i > 0 && names[i-1] > n {
+			t.Fatalf("Engines() not sorted: %v", names)
+		}
+	}
+	if !found {
+		t.Fatalf("Engines() = %v, missing test-fake", names)
+	}
+}
+
+func TestNamedWrapperStampsEngineAndWall(t *testing.T) {
+	s, err := New("test-fake", WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Solve(context.Background(), cnf.FromClauses([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine != "test-fake" {
+		t.Errorf("Engine = %q, want test-fake", r.Engine)
+	}
+	if r.Stats.Decisions != 7 {
+		t.Errorf("config not threaded: Decisions = %d, want 7", r.Stats.Decisions)
+	}
+	if r.Wall < 0 {
+		t.Errorf("Wall = %v", r.Wall)
+	}
+}
+
+func TestNamedWrapperShortCircuitsExpiredContext(t *testing.T) {
+	s, err := New("test-fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	r, err := s.Solve(ctx, cnf.FromClauses([]int{1}))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if r.Status != StatusUnknown {
+		t.Errorf("Status = %v, want UNKNOWN", r.Status)
+	}
+}

@@ -10,6 +10,8 @@
 package walksat
 
 import (
+	"context"
+
 	"repro/internal/cnf"
 	"repro/internal/rng"
 )
@@ -62,16 +64,24 @@ type Result struct {
 
 // Solve runs WalkSAT (or GSAT when opts.Greedy) on f.
 func Solve(f *cnf.Formula, opts Options) Result {
+	r, _ := SolveCtx(context.Background(), f, opts)
+	return r
+}
+
+// SolveCtx is Solve with cancellation: the flip loop polls ctx every few
+// flips and returns the partial Stats with ctx.Err() when the context
+// ends. A non-nil error always comes with Found == false.
+func SolveCtx(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
 	o := opts.withDefaults()
 	g := rng.New(o.Seed)
 	n := f.NumVars
 	if n == 0 || f.NumClauses() == 0 {
 		// Trivially satisfied: no constraints.
-		return Result{Found: true, Assignment: cnf.NewAssignment(n)}
+		return Result{Found: true, Assignment: cnf.NewAssignment(n)}, nil
 	}
 	for _, c := range f.Clauses {
 		if len(c) == 0 {
-			return Result{} // empty clause: unknown for local search
+			return Result{}, nil // empty clause: unknown for local search
 		}
 	}
 
@@ -80,10 +90,16 @@ func Solve(f *cnf.Formula, opts Options) Result {
 		st.Restarts++
 		a := randomAssignment(g, n)
 		for flip := 0; flip < o.MaxFlips; flip++ {
+			if flip&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					st.Flips += int64(flip)
+					return Result{Stats: st}, err
+				}
+			}
 			unsat := unsatClauses(f, a)
 			if len(unsat) == 0 {
 				st.Flips += int64(flip)
-				return Result{Found: true, Assignment: a, Stats: st}
+				return Result{Found: true, Assignment: a, Stats: st}, nil
 			}
 			var v cnf.Var
 			if o.Greedy {
@@ -95,7 +111,7 @@ func Solve(f *cnf.Formula, opts Options) Result {
 		}
 		st.Flips += int64(o.MaxFlips)
 	}
-	return Result{Stats: st}
+	return Result{Stats: st}, nil
 }
 
 func randomAssignment(g *rng.Xoshiro256, n int) cnf.Assignment {

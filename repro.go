@@ -3,21 +3,38 @@
 // Khatri, "Boolean Satisfiability using Noise Based Logic" (DAC 2012 /
 // arXiv:1110.0550).
 //
-// The facade re-exports the pieces a library user needs — CNF modeling,
-// DIMACS I/O, the NBL Monte-Carlo and exact engines, the classical
-// baselines, and circuit-to-CNF encoding — while the full machinery
-// lives in the internal packages (see DESIGN.md for the map).
+// Every engine in the repository — the paper's NBL engines (mc, exact,
+// rtw, sbl, analog, hybrid) and the classical baselines (dpll, cdcl,
+// walksat) — implements one interface and lives in one registry:
+//
+//	Solver: Solve(ctx context.Context, f *Formula) (Result, error)
+//
+// with a three-valued Status (SAT / UNSAT / UNKNOWN), an optional model,
+// wall time, and a common Stats block. A "portfolio" engine races any
+// lineup of the others in parallel and returns the first definitive
+// verdict, cancelling the losers. All engines honor context
+// cancellation and deadlines in their hot loops.
 //
 // Quickstart:
 //
 //	f := repro.FromClauses([]int{1, 2}, []int{-1, -2})
-//	eng, _ := repro.NewEngine(f, repro.Options{})
-//	fmt.Println(eng.Check())      // Algorithm 1: SAT/UNSAT in one check
-//	res, _ := eng.Assign()        // Algorithm 2: model in n more checks
-//	fmt.Println(res.Assignment)
+//	s, _ := repro.New("portfolio", repro.WithSeed(42))
+//	r, _ := s.Solve(context.Background(), f)
+//	fmt.Println(r.Status, r.Engine)   // SATISFIABLE cdcl
+//
+// Pick a specific engine with repro.New("mc"), repro.New("cdcl"), ...;
+// repro.Engines() lists everything registered. The pre-registry entry
+// points (NewEngine, SolveDPLL, SolveCDCL, SolveWalkSAT) remain as thin
+// wrappers.
+//
+// The facade re-exports the pieces a library user needs — CNF modeling,
+// DIMACS I/O, the solver registry, and the instance generators — while
+// the full machinery lives in the internal packages (see DESIGN.md for
+// the map).
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cdcl"
@@ -29,7 +46,17 @@ import (
 	"repro/internal/gen"
 	"repro/internal/noise"
 	"repro/internal/rng"
+	"repro/internal/solver"
 	"repro/internal/walksat"
+
+	// The remaining engines register themselves with the solver registry
+	// on import; the facade links them all in so repro.New can build any
+	// of them by name.
+	_ "repro/internal/analog"
+	_ "repro/internal/hybrid"
+	_ "repro/internal/portfolio"
+	_ "repro/internal/rtw"
+	_ "repro/internal/sbl"
 )
 
 // Core CNF types, re-exported.
@@ -55,14 +82,76 @@ const (
 	True       = cnf.True
 )
 
-// NBL engine types, re-exported.
+// Unified solver API, re-exported from internal/solver.
+type (
+	// Solver is the one interface every engine implements.
+	Solver = solver.Solver
+	// Result is the unified solve outcome: Status, optional model,
+	// engine name, wall time, Stats.
+	Result = solver.Result
+	// Status is the three-valued verdict.
+	Status = solver.Status
+	// Stats is the common effort block.
+	Stats = solver.Stats
+	// Option is a functional option for New.
+	Option = solver.Option
+	// Config is the explicit-options form used by NewWith.
+	Config = solver.Config
+)
+
+// Verdicts.
+const (
+	StatusUnknown = solver.StatusUnknown
+	StatusSat     = solver.StatusSat
+	StatusUnsat   = solver.StatusUnsat
+)
+
+// Functional options for New, re-exported.
+var (
+	WithSeed       = solver.WithSeed
+	WithMaxSamples = solver.WithMaxSamples
+	WithTheta      = solver.WithTheta
+	WithWorkers    = solver.WithWorkers
+	WithFamily     = solver.WithFamily
+	WithAllocation = solver.WithAllocation
+	WithMaxFlips   = solver.WithMaxFlips
+	WithRestarts   = solver.WithRestarts
+	WithNoiseP     = solver.WithNoiseP
+	WithCandidates = solver.WithCandidates
+	WithModel      = solver.WithModel
+	WithMembers    = solver.WithMembers
+)
+
+// New builds a registered engine by name: "mc", "exact", "rtw", "sbl",
+// "analog", "hybrid", "dpll", "cdcl", "walksat", or "portfolio".
+func New(name string, opts ...Option) (Solver, error) { return solver.New(name, opts...) }
+
+// NewWith is New with an explicit Config.
+func NewWith(name string, cfg Config) (Solver, error) { return solver.NewWith(name, cfg) }
+
+// Register installs a custom engine factory under a name.
+func Register(name string, f solver.Factory) { solver.Register(name, f) }
+
+// Engines returns the sorted names of all registered engines.
+func Engines() []string { return solver.Engines() }
+
+// Solve is a one-call convenience: build the named engine and solve f.
+func Solve(ctx context.Context, engine string, f *Formula, opts ...Option) (Result, error) {
+	s, err := New(engine, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Solve(ctx, f)
+}
+
+// NBL engine types, re-exported for direct (pre-registry) use.
 type (
 	// Engine is the Monte-Carlo NBL-SAT engine.
 	Engine = core.Engine
 	// Options configures an Engine.
 	Options = core.Options
-	// Result is one NBL-SAT check outcome.
-	Result = core.Result
+	// CheckResult is one NBL-SAT check outcome (Algorithm 1).
+	CheckResult = core.Result
 	// AssignResult is an Algorithm 2 outcome.
 	AssignResult = core.AssignResult
 	// Family selects the basis noise family.
@@ -85,6 +174,9 @@ const (
 // NewFormula returns an empty formula over n variables.
 func NewFormula(n int) *Formula { return cnf.New(n) }
 
+// NewAssignment returns an all-unassigned assignment over n variables.
+func NewAssignment(n int) Assignment { return cnf.NewAssignment(n) }
+
 // FromClauses builds a formula from DIMACS-style signed integer clauses.
 func FromClauses(clauses ...[]int) *Formula { return cnf.FromClauses(clauses...) }
 
@@ -98,6 +190,8 @@ func WriteDIMACS(w io.Writer, f *Formula, comment string) error {
 
 // NewEngine builds a Monte-Carlo NBL-SAT engine (Algorithms 1 and 2 of
 // the paper). Zero-valued Options fields take sensible defaults.
+//
+// Deprecated: prefer New("mc", ...), which returns the unified Solver.
 func NewEngine(f *Formula, opts Options) (*Engine, error) {
 	return core.NewEngine(f, opts)
 }
@@ -113,14 +207,20 @@ func ExactCheck(f *Formula) bool { return core.ExactCheck(f) }
 func ExactAssign(f *Formula) (Assignment, bool) { return core.ExactAssign(f) }
 
 // SolveDPLL runs the classical DPLL baseline.
+//
+// Deprecated: prefer New("dpll").
 func SolveDPLL(f *Formula) (Assignment, bool) { return dpll.Solve(f) }
 
 // SolveCDCL runs the conflict-driven clause-learning baseline.
+//
+// Deprecated: prefer New("cdcl").
 func SolveCDCL(f *Formula) (Assignment, bool) { return cdcl.Solve(f) }
 
 // SolveWalkSAT runs the stochastic local-search baseline with default
 // options and the given seed. The bool is false when no model was found
 // within the search budget (which proves nothing about UNSAT).
+//
+// Deprecated: prefer New("walksat", WithSeed(seed)).
 func SolveWalkSAT(f *Formula, seed uint64) (Assignment, bool) {
 	r := walksat.Solve(f, walksat.Options{Seed: seed})
 	return r.Assignment, r.Found
@@ -140,6 +240,11 @@ func RandomKSAT(seed uint64, n, m, k int) *Formula {
 func PlantedKSAT(seed uint64, n, m, k int) (*Formula, Assignment) {
 	return gen.PlantedKSAT(rng.New(seed), n, m, k)
 }
+
+// Pigeonhole returns PHP(holes+1, holes): holes+1 pigeons into holes
+// holes, the classic provably-UNSAT family that is exponentially hard
+// for resolution-based search (dpll, cdcl).
+func Pigeonhole(holes int) *Formula { return gen.Pigeonhole(holes) }
 
 // PaperSAT and friends return the exact instances used in the paper.
 func PaperSAT() *Formula { return gen.PaperSAT() }
