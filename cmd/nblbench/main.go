@@ -1,0 +1,258 @@
+// Command nblbench is the NBL-SAT benchmark runner: it drives the
+// sampling engines over a fixed roster of generated and paper instances
+// plus any DIMACS files given as arguments, and writes one
+// BENCH_<timestamp>.json per invocation. The JSON records, per
+// (instance, engine) run, the verdict, wall time, consumed samples, and
+// samples/sec, plus a kernel section comparing the scalar Step path
+// against the batched StepBlock path — the repository's performance
+// trajectory is the series of these files over time.
+//
+// Usage:
+//
+//	nblbench [flags] [file.cnf ...]
+//
+// The -tiny flag shrinks budgets and the roster for CI smoke runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/hyperspace"
+	"repro/internal/noise"
+	"repro/internal/rng"
+)
+
+// Report is the top-level BENCH_*.json document.
+type Report struct {
+	Timestamp string      `json:"timestamp"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Tiny      bool        `json:"tiny"`
+	Kernel    []KernelRun `json:"kernel"`
+	Runs      []EngineRun `json:"runs"`
+}
+
+// KernelRun compares the scalar and block evaluation kernels on one
+// instance geometry.
+type KernelRun struct {
+	Instance        string  `json:"instance"`
+	Vars            int     `json:"vars"`
+	Clauses         int     `json:"clauses"`
+	ScalarPerSec    float64 `json:"scalar_samples_per_sec"`
+	BlockPerSec     float64 `json:"block_samples_per_sec"`
+	BlockSpeedup    float64 `json:"block_speedup"`
+	SamplesMeasured int64   `json:"samples_measured"`
+}
+
+// EngineRun is one engine solving one instance.
+type EngineRun struct {
+	Instance      string  `json:"instance"`
+	Vars          int     `json:"vars"`
+	Clauses       int     `json:"clauses"`
+	Engine        string  `json:"engine"`
+	Status        string  `json:"status"`
+	WallNS        int64   `json:"wall_ns"`
+	Samples       int64   `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	Err           string  `json:"error,omitempty"`
+}
+
+type instance struct {
+	name string
+	f    *cnf.Formula
+}
+
+func main() {
+	var (
+		engines = flag.String("engines", "mc,rtw,sbl",
+			"comma-separated engine lineup to benchmark")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		samples = flag.Int64("samples", 400_000, "sample budget per check")
+		timeout = flag.Duration("timeout", 2*time.Minute, "wall budget per run")
+		outDir  = flag.String("out", ".", "directory for the BENCH_*.json report")
+		tiny    = flag.Bool("tiny", false,
+			"CI smoke mode: tiny instances and budgets only")
+	)
+	flag.Parse()
+
+	if *tiny {
+		*samples = 20_000
+	}
+
+	insts := roster(*seed, *tiny)
+	for _, path := range flag.Args() {
+		f, err := readFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		insts = append(insts, instance{name: filepath.Base(path), f: f})
+	}
+
+	rep := Report{
+		Timestamp: time.Now().UTC().Format("20060102T150405Z"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Tiny:      *tiny,
+	}
+
+	// Kernel microbenchmark: scalar vs block samples/sec on the paper's
+	// geometry and (full mode) a SATLIB-scale random instance.
+	kernelInsts := []instance{{name: "paper-sat-n2m4", f: gen.PaperSAT()}}
+	if !*tiny {
+		kernelInsts = append(kernelInsts,
+			instance{name: "uf20-91", f: gen.RandomKSAT(rng.New(*seed), 20, 91, 3)})
+	}
+	kernelBudget := int64(200_000)
+	if *tiny {
+		kernelBudget = 20_000
+	}
+	for _, in := range kernelInsts {
+		kr := kernelBench(in, *seed, kernelBudget)
+		rep.Kernel = append(rep.Kernel, kr)
+		fmt.Printf("kernel %-16s scalar %12.0f/s  block %12.0f/s  speedup %.2fx\n",
+			in.name, kr.ScalarPerSec, kr.BlockPerSec, kr.BlockSpeedup)
+	}
+
+	lineup := strings.Split(*engines, ",")
+	for _, in := range insts {
+		for _, eng := range lineup {
+			eng = strings.TrimSpace(eng)
+			if eng == "" {
+				continue
+			}
+			run := solveOne(eng, in, *seed, *samples, *timeout)
+			rep.Runs = append(rep.Runs, run)
+			fmt.Printf("run %-20s %-8s %-8s %10v %12d samples %12.0f/s\n",
+				in.name, eng, run.Status, time.Duration(run.WallNS).Round(time.Microsecond),
+				run.Samples, run.SamplesPerSec)
+		}
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+rep.Timestamp+".json")
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+// roster builds the standing instance set: the paper's worked examples
+// plus SATLIB-scale random and planted 3-SAT.
+func roster(seed uint64, tiny bool) []instance {
+	insts := []instance{
+		{name: "paper-sat", f: gen.PaperSAT()},
+		{name: "paper-unsat", f: gen.PaperUNSAT()},
+		{name: "paper-ex5", f: gen.PaperExample5()},
+	}
+	if tiny {
+		return insts
+	}
+	g := rng.New(seed)
+	insts = append(insts, instance{name: "uf20-91", f: gen.RandomKSAT(g, 20, 91, 3)})
+	planted, _ := gen.PlantedKSAT(g, 20, 91, 3)
+	insts = append(insts, instance{name: "planted20-91", f: planted})
+	return insts
+}
+
+// kernelBench measures Step vs StepBlock throughput on one instance.
+// Both paths draw from identically seeded banks, so they do the same
+// arithmetic on the same streams.
+func kernelBench(in instance, seed uint64, budget int64) KernelRun {
+	n, m := in.f.NumVars, in.f.NumClauses()
+
+	scalar := hyperspace.New(in.f, noise.NewBank(noise.UniformUnit, seed, n, m))
+	start := time.Now()
+	var sink float64
+	for i := int64(0); i < budget; i++ {
+		sink += scalar.Step().S
+	}
+	scalarSec := float64(budget) / time.Since(start).Seconds()
+
+	block := hyperspace.New(in.f, noise.NewBank(noise.UniformUnit, seed, n, m))
+	buf := make([]float64, 256)
+	start = time.Now()
+	for done := int64(0); done < budget; {
+		k := int64(len(buf))
+		if rem := budget - done; rem < k {
+			k = rem
+		}
+		block.StepBlock(buf[:k])
+		sink += buf[0]
+		done += k
+	}
+	blockSec := float64(budget) / time.Since(start).Seconds()
+	_ = sink
+
+	return KernelRun{
+		Instance:        in.name,
+		Vars:            n,
+		Clauses:         m,
+		ScalarPerSec:    scalarSec,
+		BlockPerSec:     blockSec,
+		BlockSpeedup:    blockSec / scalarSec,
+		SamplesMeasured: budget,
+	}
+}
+
+// solveOne runs one engine over one instance through the registry.
+func solveOne(engine string, in instance, seed uint64, samples int64, timeout time.Duration) EngineRun {
+	run := EngineRun{
+		Instance: in.name,
+		Vars:     in.f.NumVars,
+		Clauses:  in.f.NumClauses(),
+		Engine:   engine,
+	}
+	s, err := repro.New(engine,
+		repro.WithSeed(seed),
+		repro.WithMaxSamples(samples),
+	)
+	if err != nil {
+		run.Err = err.Error()
+		return run
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res, err := s.Solve(ctx, in.f)
+	run.Status = res.Status.String()
+	run.WallNS = res.Wall.Nanoseconds()
+	run.Samples = res.Stats.Samples
+	if res.Wall > 0 {
+		run.SamplesPerSec = float64(res.Stats.Samples) / res.Wall.Seconds()
+	}
+	if err != nil {
+		run.Err = err.Error()
+	}
+	return run
+}
+
+func readFile(path string) (*cnf.Formula, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return repro.ReadDIMACS(file)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nblbench:", err)
+	os.Exit(1)
+}

@@ -106,11 +106,14 @@ func (r Result) String() string {
 }
 
 // Engine is a Monte-Carlo NBL-SAT solver for one formula. Engines are
-// safe to reuse across checks; each check consumes fresh noise streams.
+// safe to reuse across (sequential) checks; each check re-seeds the
+// cached per-worker noise banks to fresh streams, so repeated checks
+// cost no bank or evaluator allocation.
 type Engine struct {
 	f        *cnf.Formula
 	opts     Options
-	checkSeq uint64 // distinct noise streams per check
+	checkSeq uint64        // distinct noise streams per check
+	workers  []workerState // per-worker bank/evaluator, reused across checks
 }
 
 // ErrNoVariables is returned for formulas over zero variables.
@@ -192,7 +195,7 @@ func (e *Engine) CheckBoundCtx(ctx context.Context, bound cnf.Assignment) (Resul
 // trace is a true prefix-mean sequence.
 func (e *Engine) MeanTrace(every, maxSamples int64) []TracePoint {
 	e.checkSeq++
-	ev := e.newEvaluator(cnf.NewAssignment(e.f.NumVars), e.checkSeq, 0)
+	ev := e.evaluator(cnf.NewAssignment(e.f.NumVars), e.checkSeq, 0)
 	var w stats.Welford
 	var out []TracePoint
 	for i := int64(1); i <= maxSamples; i++ {

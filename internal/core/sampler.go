@@ -7,35 +7,71 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/hyperspace"
 	"repro/internal/noise"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
-// newEvaluator builds a hyperspace evaluator with bindings applied,
-// drawing from noise streams unique to (engine seed, check sequence
-// number, worker id). mix folds the identifiers so that different checks
-// and workers never share a stream.
-func (e *Engine) newEvaluator(bound cnf.Assignment, seq uint64, worker int) *hyperspace.Evaluator {
-	seed := e.opts.Seed ^ seq*0x9e3779b97f4a7c15 ^ uint64(worker)*0xd1b54a32d192ed03
-	bank := noise.NewBank(e.opts.Family, seed, e.f.NumVars, e.f.NumClauses())
-	ev := hyperspace.New(e.f, bank)
-	ev.BindAll(bound)
-	return ev
+// sampleBlock is the batch size of the block sampling kernel: large
+// enough to amortize the bank dispatch and evaluator scratch setup,
+// small enough that cancellation polls (which happen at block
+// boundaries) stay responsive and the block buffers stay cache-resident.
+const sampleBlock = 256
+
+// workerState is one worker's persistent sampling machinery: a noise
+// bank, the evaluator wired to it, and the block sample buffer. It is
+// built once per (engine, worker) and re-seeded/re-bound for every
+// decision check instead of being reallocated — Algorithm 2 issues n+1
+// checks per solve and the hybrid brancher thousands, so rebuilding the
+// 2·n·m-generator bank per check was pure overhead.
+type workerState struct {
+	bank *noise.Bank
+	ev   *hyperspace.Evaluator
+	buf  []float64
+}
+
+// checkSeed derives the noise seed for (engine seed, check sequence,
+// worker) with a SplitMix64 finalizer chain, so distinct checks and
+// workers provably draw from distinct keys (rng.Mix is injective in its
+// final identifier for a fixed prefix; the XOR-of-products folding it
+// replaced collided systematically across (seq, worker) pairs).
+func checkSeed(seed, seq uint64, worker int) uint64 {
+	return rng.Mix(seed, seq, uint64(worker))
+}
+
+// evaluator returns worker w's evaluator, re-seeded for check seq and
+// re-bound to bound. The first use per worker builds the bank and
+// evaluator; every later check reuses them in place.
+func (e *Engine) evaluator(bound cnf.Assignment, seq uint64, w int) *hyperspace.Evaluator {
+	for len(e.workers) <= w {
+		e.workers = append(e.workers, workerState{})
+	}
+	st := &e.workers[w]
+	seed := checkSeed(e.opts.Seed, seq, w)
+	if st.bank == nil {
+		st.bank = noise.NewBank(e.opts.Family, seed, e.f.NumVars, e.f.NumClauses())
+		st.ev = hyperspace.New(e.f, st.bank)
+		st.buf = make([]float64, sampleBlock)
+	} else {
+		st.bank.Reseed(seed)
+	}
+	st.ev.BindAll(bound)
+	return st.ev
 }
 
 // sample estimates mean(S_N) under the given bindings. It runs
 // Options.Workers goroutines in lockstep rounds of CheckEvery samples
 // each, merging their accumulators between rounds and applying the
-// significant-digit convergence rule. The returned values are the final
-// mean, its standard error, total samples, and whether the convergence
-// rule (rather than the budget) stopped the run. Cancellation is polled
-// at two levels — between rounds, and every few hundred samples inside
-// each worker's loop (large instances make single rounds span seconds) —
-// and a done context returns the partial statistics with ctx.Err().
+// significant-digit convergence rule. Within a round each worker steps
+// the hyperspace block kernel (StepBlock + Welford.AddN), polling
+// cancellation at block boundaries; a done context returns the partial
+// statistics with ctx.Err(). The returned values are the final mean, its
+// standard error, total samples, and whether the convergence rule
+// (rather than the budget) stopped the run.
 func (e *Engine) sample(ctx context.Context, bound cnf.Assignment, seq uint64) (mean, stderr float64, samples int64, converged bool, err error) {
 	workers := e.opts.Workers
 	evs := make([]*hyperspace.Evaluator, workers)
 	for w := 0; w < workers; w++ {
-		evs[w] = e.newEvaluator(bound, seq, w)
+		evs[w] = e.evaluator(bound, seq, w)
 	}
 
 	conv := &stats.Convergence{
@@ -52,7 +88,7 @@ func (e *Engine) sample(ctx context.Context, bound cnf.Assignment, seq uint64) (
 	share := perRound / int64(workers)
 
 	partial := make([]stats.Welford, workers)
-	for total.Count() < e.opts.MaxSamples {
+	for !conv.Exhausted(total.Count()) {
 		if err = ctx.Err(); err != nil {
 			return total.Mean(), total.StdErr(), total.Count(), false, err
 		}
@@ -64,17 +100,24 @@ func (e *Engine) sample(ctx context.Context, bound cnf.Assignment, seq uint64) (
 				acc := &partial[w]
 				*acc = stats.Welford{}
 				ev := evs[w]
-				for i := int64(0); i < share; i++ {
+				buf := e.workers[w].buf
+				for done := int64(0); done < share; {
 					// On large instances a single round can take seconds;
-					// poll cancellation inside it so a lost portfolio race
-					// does not keep burning a full round. The caller
-					// re-checks ctx after merging, so an abbreviated round
-					// always surfaces as an error and deterministic replay
-					// of successful runs is preserved.
-					if i&0xff == 0 && ctx.Err() != nil {
+					// poll cancellation at every block boundary so a lost
+					// portfolio race does not keep burning a full round.
+					// The caller re-checks ctx after merging, so an
+					// abbreviated round always surfaces as an error and
+					// deterministic replay of successful runs is preserved.
+					if ctx.Err() != nil {
 						return
 					}
-					acc.Add(ev.Step().S)
+					k := int64(len(buf))
+					if rem := share - done; rem < k {
+						k = rem
+					}
+					ev.StepBlock(buf[:k])
+					acc.AddN(buf[:k])
+					done += k
 				}
 			}(w)
 		}
@@ -88,9 +131,8 @@ func (e *Engine) sample(ctx context.Context, bound cnf.Assignment, seq uint64) (
 		if err = ctx.Err(); err != nil {
 			return total.Mean(), total.StdErr(), total.Count(), false, err
 		}
-		if total.Count() >= e.opts.MinSamples &&
-			conv.Check(total.Mean(), total.Count()) {
-			converged = total.Count() < e.opts.MaxSamples
+		if total.Count() >= e.opts.MinSamples && conv.Check(total.Mean()) {
+			converged = true
 			break
 		}
 	}

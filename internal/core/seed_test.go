@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestCheckSeedDistinctAcrossGrid verifies the stream-independence
+// contract of the seed derivation: every (check sequence, worker) pair
+// must map to a distinct noise seed. The XOR-of-products mixing this
+// replaced collided systematically on exactly such a grid (e.g. any two
+// pairs whose products cancel under XOR), which silently made distinct
+// checks replay correlated noise.
+func TestCheckSeedDistinctAcrossGrid(t *testing.T) {
+	const (
+		seqs    = 512
+		workers = 64
+	)
+	for _, seed := range []uint64{0, 1, 42, ^uint64(0)} {
+		seen := make(map[uint64][2]uint64, seqs*workers)
+		for seq := uint64(0); seq < seqs; seq++ {
+			for w := 0; w < workers; w++ {
+				k := checkSeed(seed, seq, w)
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("seed %d: (seq=%d, worker=%d) collides with (seq=%d, worker=%d): key %#x",
+						seed, seq, w, prev[0], prev[1], k)
+				}
+				seen[k] = [2]uint64{seq, uint64(w)}
+			}
+		}
+	}
+}
+
+// TestCheckSeedRolesNotInterchangeable guards the chain ordering: the
+// derivation must not treat (seq, worker) symmetrically, or swapped
+// identifiers would share streams.
+func TestCheckSeedRolesNotInterchangeable(t *testing.T) {
+	if checkSeed(7, 3, 5) == checkSeed(7, 5, 3) {
+		t.Fatal("checkSeed is symmetric in (seq, worker)")
+	}
+}

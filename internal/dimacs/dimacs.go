@@ -3,6 +3,16 @@
 // tolerant of the common dialect variations found in benchmark archives:
 // comment lines anywhere, clauses spanning multiple lines, multiple
 // clauses per line, and a missing final terminating 0.
+//
+// SATLIB trailer dialect: the SATLIB benchmark archives (uf*/uuf* and
+// friends) terminate every file with the two lines "%" and "0". A line
+// whose first token is "%" is therefore treated as end-of-stream and
+// everything after it is ignored. This matters for correctness, not just
+// tolerance: read as clause data, the trailing "0" would terminate an
+// empty clause, making every SATLIB instance either fail the declared
+// clause count or — when the count happened to absorb it — silently
+// become UNSAT. A bare "0" line before the trailer is still an explicit
+// empty clause, as the format defines.
 package dimacs
 
 import (
@@ -46,8 +56,13 @@ func Read(r io.Reader) (*cnf.Formula, error) {
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "c") || strings.HasPrefix(text, "%") {
+		if text == "" || strings.HasPrefix(text, "c") {
 			continue
+		}
+		if strings.HasPrefix(text, "%") {
+			// SATLIB end-of-stream trailer ("%" then "0"): stop reading so
+			// the trailing 0 is not misparsed as an empty clause.
+			break
 		}
 		if strings.HasPrefix(text, "p") {
 			if sawProbLine {

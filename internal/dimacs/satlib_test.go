@@ -1,0 +1,83 @@
+package dimacs
+
+import (
+	"testing"
+)
+
+// satlibSample mimics a SATLIB uf-style benchmark file, including the
+// characteristic "%" / "0" trailer that the archives append after the
+// last clause.
+const satlibSample = `c SATLIB-style instance
+p cnf 3 2
+1 -2 3 0
+-1 2 0
+%
+0
+
+`
+
+// TestReadSATLIBTrailer is the regression test for the trailer bug: the
+// "0" line after "%" used to be parsed as an empty clause, so the file
+// either failed the declared clause count or silently became UNSAT.
+func TestReadSATLIBTrailer(t *testing.T) {
+	f, err := ReadString(satlibSample)
+	if err != nil {
+		t.Fatalf("SATLIB trailer rejected: %v", err)
+	}
+	if f.NumVars != 3 || f.NumClauses() != 2 {
+		t.Fatalf("dims: %d vars %d clauses, want 3 and 2", f.NumVars, f.NumClauses())
+	}
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			t.Fatalf("clause %d is empty: trailer was parsed as clause data", i)
+		}
+	}
+}
+
+// TestReadSATLIBTrailerAfterUnterminatedClause checks that the trailer
+// still flushes a final clause missing its terminating 0.
+func TestReadSATLIBTrailerAfterUnterminatedClause(t *testing.T) {
+	f, err := ReadString("p cnf 2 2\n1 2 0\n-1 -2\n%\n0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 || len(f.Clauses[1]) != 2 {
+		t.Fatalf("got %d clauses (%v), want the unterminated clause flushed", f.NumClauses(), f.Clauses)
+	}
+}
+
+// TestReadEverythingAfterTrailerIgnored: SATLIB archives occasionally
+// carry junk past the trailer; all of it is out of stream.
+func TestReadEverythingAfterTrailerIgnored(t *testing.T) {
+	f, err := ReadString("p cnf 1 1\n1 0\n%\n0\nthis is not DIMACS at all\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 {
+		t.Fatalf("clauses = %d, want 1", f.NumClauses())
+	}
+}
+
+// TestReadDeclaredEmptyClause pins the counterpart behavior: a bare "0"
+// line before any trailer is a real, declared empty clause and must be
+// preserved (it makes the instance structurally UNSAT).
+func TestReadDeclaredEmptyClause(t *testing.T) {
+	f, err := ReadString("p cnf 2 3\n1 0\n0\n-2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 3 {
+		t.Fatalf("clauses = %d, want 3", f.NumClauses())
+	}
+	if len(f.Clauses[1]) != 0 {
+		t.Fatalf("clause 1 = %v, want explicit empty clause", f.Clauses[1])
+	}
+}
+
+// TestReadTrailerCountMismatchStillDetected: cutting the stream at "%"
+// must not mask a genuinely wrong clause count.
+func TestReadTrailerCountMismatchStillDetected(t *testing.T) {
+	if _, err := ReadString("p cnf 2 3\n1 2 0\n%\n0\n"); err == nil {
+		t.Fatal("declared 3 clauses, provided 1: expected an error")
+	}
+}

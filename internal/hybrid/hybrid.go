@@ -31,7 +31,11 @@ type Coprocessor interface {
 }
 
 // MC is a Monte-Carlo coprocessor backed by the core engine: each probe
-// is one reduced NBL-SAT check with the engine's sample budget.
+// is one reduced NBL-SAT check with the engine's sample budget. The
+// engine re-seeds and re-binds its cached evaluators between checks, so
+// the thousands of probes a search issues share one noise bank per
+// worker instead of rebuilding 2·n·m generators each time, and each
+// probe samples through the block kernel.
 type MC struct {
 	Engine *core.Engine
 	// Probes counts coprocessor invocations (for experiment accounting).

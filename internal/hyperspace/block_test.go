@@ -1,0 +1,105 @@
+package hyperspace
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/noise"
+	"repro/internal/rng"
+)
+
+// allFamilies is every stochastic noise family the bank supports.
+var allFamilies = []noise.Family{
+	noise.UniformHalf, noise.UniformUnit, noise.Gaussian, noise.RTW, noise.Pulse,
+}
+
+// TestStepBlockBitIdenticalToStep is the block-kernel conformance test:
+// for every noise family, StepBlock must reproduce the exact float64
+// values of repeated Step over the same streams — including with
+// bindings applied and across uneven block sizes — so verdicts and
+// replay determinism are untouched by the batched path.
+func TestStepBlockBitIdenticalToStep(t *testing.T) {
+	g := rng.New(7)
+	formulas := []*cnf.Formula{
+		gen.PaperSAT(),
+		gen.PaperExample5(),
+		gen.RandomKSAT(g, 6, 14, 3),
+	}
+	blocks := []int{1, 3, 16, 97, 256}
+	for _, fam := range allFamilies {
+		for fi, f := range formulas {
+			n, m := f.NumVars, f.NumClauses()
+			scalar := New(f, noise.NewBank(fam, 42, n, m))
+			block := New(f, noise.NewBank(fam, 42, n, m))
+
+			// Bind a couple of variables identically on both evaluators so
+			// the reduced-tau branches are exercised too.
+			scalar.Bind(1, cnf.True)
+			block.Bind(1, cnf.True)
+			if n > 2 {
+				scalar.Bind(2, cnf.False)
+				block.Bind(2, cnf.False)
+			}
+
+			for _, k := range blocks {
+				out := make([]float64, k)
+				block.StepBlock(out)
+				for s := 0; s < k; s++ {
+					want := scalar.Step().S
+					if out[s] != want {
+						t.Fatalf("family %v formula %d block %d sample %d: StepBlock %v != Step %v",
+							fam, fi, k, s, out[s], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStepBlockInterleavesWithStep checks the stream contract: Step and
+// StepBlock may alternate on one evaluator and still consume the same
+// per-source streams as an all-scalar run.
+func TestStepBlockInterleavesWithStep(t *testing.T) {
+	f := gen.PaperExample6()
+	n, m := f.NumVars, f.NumClauses()
+	ref := New(f, noise.NewBank(noise.UniformUnit, 9, n, m))
+	mixed := New(f, noise.NewBank(noise.UniformUnit, 9, n, m))
+
+	var got, want []float64
+	for round := 0; round < 5; round++ {
+		want = append(want, ref.Step().S)
+		buf := make([]float64, 4)
+		for range buf {
+			want = append(want, ref.Step().S)
+		}
+
+		got = append(got, mixed.Step().S)
+		mixed.StepBlock(buf)
+		got = append(got, buf...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: interleaved %v != scalar %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStepBlockShrinkingBlocksReuseScratch covers the scratch-reuse path:
+// a large block followed by smaller ones must stay bit-identical (the
+// smaller block re-strides a prefix of the large allocation).
+func TestStepBlockShrinkingBlocksReuseScratch(t *testing.T) {
+	f := gen.PaperSAT()
+	n, m := f.NumVars, f.NumClauses()
+	scalar := New(f, noise.NewBank(noise.Gaussian, 3, n, m))
+	block := New(f, noise.NewBank(noise.Gaussian, 3, n, m))
+	for _, k := range []int{128, 5, 64, 1, 128} {
+		out := make([]float64, k)
+		block.StepBlock(out)
+		for s := 0; s < k; s++ {
+			if want := scalar.Step().S; out[s] != want {
+				t.Fatalf("block %d sample %d: %v != %v", k, s, out[s], want)
+			}
+		}
+	}
+}

@@ -23,13 +23,20 @@ import (
 	"repro/internal/cnf"
 )
 
-// SampleSource supplies one sample of every basis source per Fill call.
-// noise.Bank is the stochastic implementation; the sbl package provides
-// a deterministic sinusoid-carrier implementation (Section V's SBL).
+// SampleSource supplies samples of the 2·n·m basis sources. noise.Bank
+// is the stochastic implementation; the sbl package provides a
+// deterministic sinusoid-carrier implementation (Section V's SBL).
 type SampleSource interface {
 	// Fill writes the next sample of the positive- and negative-literal
 	// sources into pos and neg (layout [var*m+clause], 0-based).
 	Fill(pos, neg []float64)
+	// FillBlock writes the next k samples of every source into pos and
+	// neg (length k*n*m each) in source-major layout: entry
+	// [(var*m+clause)*k + s] holds the source's sample s. FillBlock(k)
+	// must consume each source's stream exactly as k Fill calls would,
+	// so scalar and block evaluation are bit-identical and may be
+	// interleaved.
+	FillBlock(k int, pos, neg []float64)
 	// Dims returns the (variables, clauses) geometry of the source set.
 	Dims() (n, m int)
 }
@@ -54,6 +61,30 @@ type Evaluator struct {
 	pos, neg         []float64
 	prodPos, prodNeg []float64
 	pre, suf         []float64
+
+	// Block scratch (SoA, sized lazily to the largest block seen): the
+	// sample matrices hold k samples per source in source-major layout,
+	// the per-variable products and clause prefix/suffix arrays hold k
+	// values per entry. Reused across StepBlock calls — the block path
+	// allocates nothing per sample.
+	blk blockScratch
+}
+
+// blockScratch holds the StepBlock working set for blocks up to cap k.
+type blockScratch struct {
+	k                int
+	pos, neg         []float64 // k samples per source, [(i*m+j)*k+s]
+	prodPos, prodNeg []float64 // per-variable clause products, [i*k+s]
+	tau, sigma, z    []float64 // per-sample accumulators, [s]
+	g                []float64 // per-clause variable factors pos+neg, [v*k+s]
+	pre, suf         []float64 // row storage for computed prefix/suffix rows
+	// preR[v] (1 <= v <= n-1) is the prefix-product row prod_{w<v} g_w;
+	// sufR[v] (1 <= v <= n-1) is the suffix row prod_{w>=v} g_w. Rows
+	// that equal a bare g row (preR[1], sufR[n-1]) alias into g and are
+	// never recomputed; the leave-one-out terms of Z_j read these rows
+	// directly. pre[n], suf[0] of the scalar kernel are all-ones rows and
+	// have no storage here — the mult-by-one is elided, which is exact.
+	preR, sufR [][]float64
 }
 
 // New returns an Evaluator for formula f drawing samples from bank.
@@ -113,6 +144,222 @@ type Sample struct {
 func (e *Evaluator) Step() Sample {
 	e.bank.Fill(e.pos, e.neg)
 	return e.eval()
+}
+
+// StepBlock draws len(out) samples from every noise source in one
+// FillBlock pass and writes the corresponding S_N values into out. It
+// performs, per sample, exactly the floating-point operations of Step in
+// the same order, so a StepBlock is bit-identical to len(out) Steps over
+// the same source streams (the conformance tests assert this for every
+// noise family). The win is structural: the source dispatch, the binding
+// switch, and the prefix/suffix scratch are amortized over the block,
+// inner loops run stride-1 over SoA buffers, and nothing is allocated
+// per sample.
+func (e *Evaluator) StepBlock(out []float64) {
+	k := len(out)
+	if k == 0 {
+		return
+	}
+	n, m := e.n, e.m
+	b := e.ensureBlock(k)
+	e.bank.FillBlock(k, b.pos[:n*m*k], b.neg[:n*m*k])
+
+	// Per-variable products across clauses (cf. eval's first loop). The
+	// all-ones initialization of the scalar kernel is elided by seeding
+	// the accumulator rows from the first clause (1*x == x exactly), and
+	// the clause loop is unrolled by pairs with the same association
+	// order, so every product is bit-identical to the scalar kernel's.
+	for i := 0; i < n; i++ {
+		pp := b.prodPos[i*k : i*k+k]
+		pn := b.prodNeg[i*k : i*k+k]
+		row := i * m * k
+		if m == 1 {
+			copy(pp, b.pos[row:row+k])
+			copy(pn, b.neg[row:row+k])
+			continue
+		}
+		ps0, ns0 := b.pos[row:row+k], b.neg[row:row+k]
+		ps1, ns1 := b.pos[row+k:row+2*k], b.neg[row+k:row+2*k]
+		for s := 0; s < k; s++ {
+			pp[s] = ps0[s] * ps1[s]
+			pn[s] = ns0[s] * ns1[s]
+		}
+		j := 2
+		for ; j+1 < m; j += 2 {
+			o := row + j*k
+			ps0, ns0 = b.pos[o:o+k], b.neg[o:o+k]
+			ps1, ns1 = b.pos[o+k:o+2*k], b.neg[o+k:o+2*k]
+			for s := 0; s < k; s++ {
+				pp[s] = pp[s] * ps0[s] * ps1[s]
+				pn[s] = pn[s] * ns0[s] * ns1[s]
+			}
+		}
+		if j < m {
+			o := row + j*k
+			ps, ns := b.pos[o:o+k], b.neg[o:o+k]
+			for s := 0; s < k; s++ {
+				pp[s] *= ps[s]
+				pn[s] *= ns[s]
+			}
+		}
+	}
+
+	// tau_N per sample, selecting the bound branch once per variable;
+	// variable 1 seeds the accumulator, again eliding the mult-by-one.
+	tau := b.tau[:k]
+	for i := 0; i < n; i++ {
+		pp := b.prodPos[i*k : i*k+k]
+		pn := b.prodNeg[i*k : i*k+k]
+		switch e.bound[i+1] {
+		case cnf.True:
+			if i == 0 {
+				copy(tau, pp)
+				continue
+			}
+			for s := 0; s < k; s++ {
+				tau[s] *= pp[s]
+			}
+		case cnf.False:
+			if i == 0 {
+				copy(tau, pn)
+				continue
+			}
+			for s := 0; s < k; s++ {
+				tau[s] *= pn[s]
+			}
+		default:
+			if i == 0 {
+				for s := 0; s < k; s++ {
+					tau[s] = pp[s] + pn[s]
+				}
+				continue
+			}
+			for s := 0; s < k; s++ {
+				tau[s] *= pp[s] + pn[s]
+			}
+		}
+	}
+
+	// Sigma_N per sample. Per clause, the variable factors g_v = pos+neg
+	// are materialized once (the scalar kernel computes each twice, in
+	// its prefix and suffix passes), the interior prefix/suffix rows are
+	// cumulative products over g, and the boundary rows alias g itself.
+	// The leave-one-out term of a literal on variable v multiplies in the
+	// scalar kernel's order lit*pre[v]*suf[v+1], with all-ones boundary
+	// rows elided exactly.
+	// g and the prefix/suffix rows use the allocated stride b.k (the row
+	// table aliases were built against it); pos/neg/prod use the active
+	// block size k as their stride. Rows are always iterated to k only.
+	gs := b.k
+	sigma := b.sigma[:k]
+	z := b.z[:k]
+	for j := 0; j < m; j++ {
+		for v := 0; v < n; v++ {
+			o := (v*m + j) * k
+			ps, ns := b.pos[o:o+k], b.neg[o:o+k]
+			gv := b.g[v*gs : v*gs+k]
+			for s := 0; s < k; s++ {
+				gv[s] = ps[s] + ns[s]
+			}
+		}
+		for v := 2; v <= n-1; v++ {
+			prev, next := b.preR[v-1], b.preR[v]
+			gv := b.g[(v-1)*gs : (v-1)*gs+k]
+			for s := 0; s < k; s++ {
+				next[s] = prev[s] * gv[s]
+			}
+		}
+		for v := n - 2; v >= 1; v-- {
+			prev, next := b.sufR[v+1], b.sufR[v]
+			gv := b.g[v*gs : v*gs+k]
+			for s := 0; s < k; s++ {
+				next[s] = prev[s] * gv[s]
+			}
+		}
+		for s := 0; s < k; s++ {
+			z[s] = 0
+		}
+		for _, l := range e.f.Clauses[j] {
+			v := int(l.Var()) - 1
+			o := (v*m + j) * k
+			lits := b.pos[o : o+k]
+			if l.IsNeg() {
+				lits = b.neg[o : o+k]
+			}
+			switch {
+			case n == 1:
+				for s := 0; s < k; s++ {
+					z[s] += lits[s]
+				}
+			case v == 0:
+				sf := b.sufR[1]
+				for s := 0; s < k; s++ {
+					z[s] += lits[s] * sf[s]
+				}
+			case v == n-1:
+				pr := b.preR[n-1]
+				for s := 0; s < k; s++ {
+					z[s] += lits[s] * pr[s]
+				}
+			default:
+				pr, sf := b.preR[v], b.sufR[v+1]
+				for s := 0; s < k; s++ {
+					z[s] += lits[s] * pr[s] * sf[s]
+				}
+			}
+		}
+		if j == 0 {
+			copy(sigma, z)
+			continue
+		}
+		for s := 0; s < k; s++ {
+			sigma[s] *= z[s]
+		}
+	}
+
+	for s := 0; s < k; s++ {
+		out[s] = tau[s] * sigma[s]
+	}
+}
+
+// ensureBlock sizes the block scratch for blocks of k samples.
+func (e *Evaluator) ensureBlock(k int) *blockScratch {
+	b := &e.blk
+	if k <= b.k {
+		// Smaller blocks reuse a prefix of the buffers: StepBlock indexes
+		// every array with the active k as the stride, so only total
+		// length matters.
+		return b
+	}
+	nm := e.n * e.m
+	n := e.n
+	b.k = k
+	b.pos = make([]float64, nm*k)
+	b.neg = make([]float64, nm*k)
+	b.prodPos = make([]float64, n*k)
+	b.prodNeg = make([]float64, n*k)
+	b.tau = make([]float64, k)
+	b.sigma = make([]float64, k)
+	b.z = make([]float64, k)
+	b.g = make([]float64, n*k)
+	// Interior prefix/suffix rows get their own storage; boundary rows
+	// alias g (pre[1] = g_0, suf[n-1] = g_{n-1}), so re-filling g per
+	// clause refreshes them for free.
+	b.pre = make([]float64, n*k)
+	b.suf = make([]float64, n*k)
+	b.preR = make([][]float64, n)
+	b.sufR = make([][]float64, n)
+	if n >= 2 {
+		b.preR[1] = b.g[0:k]
+		b.sufR[n-1] = b.g[(n-1)*k : n*k]
+		for v := 2; v <= n-1; v++ {
+			b.preR[v] = b.pre[v*k : v*k+k]
+		}
+		for v := 1; v <= n-2; v++ {
+			b.sufR[v] = b.suf[v*k : v*k+k]
+		}
+	}
+	return b
 }
 
 // eval computes the sample values from the current pos/neg matrices.

@@ -40,10 +40,19 @@ func NewBank(f Family, seed uint64, n, m int) *Bank {
 	case UniformUnit:
 		b.lo, b.span = -sqrt3, 2*sqrt3
 	}
-	for idx := range b.gens {
-		b.gens[idx] = *rng.NewStream(seed, uint64(idx))
-	}
+	b.Reseed(seed)
 	return b
+}
+
+// Reseed re-derives every generator's stream from seed in place, without
+// reallocating the bank. A reseeded bank is indistinguishable from
+// NewBank(family, seed, n, m); the Monte-Carlo engine uses this to reuse
+// one bank (and its evaluator scratch) across decision checks instead of
+// rebuilding 2·n·m generators per check.
+func (b *Bank) Reseed(seed uint64) {
+	for idx := range b.gens {
+		b.gens[idx] = rng.Stream(seed, uint64(idx))
+	}
 }
 
 // Family returns the bank's source family.
@@ -80,6 +89,72 @@ func (b *Bank) Fill(pos, neg []float64) {
 		for k := 0; k < nm; k++ {
 			pos[k] = pulseVal(&b.gens[2*k])
 			neg[k] = pulseVal(&b.gens[2*k+1])
+		}
+	default:
+		panic("noise: unknown family")
+	}
+}
+
+// FillBlock draws the next k samples of every source. pos and neg must
+// each have length k*n*m in source-major layout: entry [(i*m+j)*k + s]
+// holds sample s of the source for variable i+1 in clause j (0-based i,
+// j; s counts from the bank's current stream position).
+//
+// FillBlock(k) consumes exactly the same per-source streams as k
+// successive Fill calls, so the two are bit-identical sample for sample
+// and may be freely interleaved. The block form is the fast path: each
+// generator is drawn k times consecutively with its state held in
+// registers, and the per-call family dispatch is amortized over the
+// whole block.
+func (b *Bank) FillBlock(k int, pos, neg []float64) {
+	nm := b.n * b.m
+	if len(pos) != nm*k || len(neg) != nm*k {
+		panic("noise: FillBlock buffer length must be k*n*m")
+	}
+	if k == 0 {
+		return
+	}
+	switch b.family {
+	case UniformHalf, UniformUnit:
+		// The hot path: both generators of a source pair run in one loop
+		// with their state in locals, so the two independent xoshiro
+		// dependency chains pipeline against each other (a single stream
+		// is latency-bound on its serial state update).
+		lo, span := b.lo, b.span
+		for src := 0; src < nm; src++ {
+			o := src * k
+			rng.FillUniformPair(&b.gens[2*src], &b.gens[2*src+1],
+				pos[o:o+k], neg[o:o+k], lo, span)
+		}
+	case Gaussian:
+		for src := 0; src < nm; src++ {
+			gp, gn := b.gens[2*src], b.gens[2*src+1]
+			o := src * k
+			for s := 0; s < k; s++ {
+				pos[o+s] = gp.Norm()
+				neg[o+s] = gn.Norm()
+			}
+			b.gens[2*src], b.gens[2*src+1] = gp, gn
+		}
+	case RTW:
+		for src := 0; src < nm; src++ {
+			gp, gn := b.gens[2*src], b.gens[2*src+1]
+			o := src * k
+			for s := 0; s < k; s++ {
+				pos[o+s] = rtwVal(&gp)
+				neg[o+s] = rtwVal(&gn)
+			}
+			b.gens[2*src], b.gens[2*src+1] = gp, gn
+		}
+	case Pulse:
+		for src := 0; src < nm; src++ {
+			gp, gn := b.gens[2*src], b.gens[2*src+1]
+			o := src * k
+			for s := 0; s < k; s++ {
+				pos[o+s] = pulseVal(&gp)
+				neg[o+s] = pulseVal(&gn)
+			}
+			b.gens[2*src], b.gens[2*src+1] = gp, gn
 		}
 	default:
 		panic("noise: unknown family")

@@ -31,6 +31,25 @@ func mix64(state uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix folds any number of stream identifiers into seed through a chain
+// of SplitMix64 finalizations and returns a well-mixed 64-bit key.
+//
+// Each step finalizes the identifier independently before folding it
+// into the running hash, so for a fixed prefix the map from the next
+// identifier to the result is a bijection: two derivations that differ
+// only in one identifier can never collide, and derivations differing
+// in several identifiers collide only with the ~2^-64 probability of a
+// strong 64-bit hash. This is the key-derivation primitive behind
+// per-(check, worker) noise streams; the naive XOR-of-products folding
+// it replaced had systematic collisions across identifier pairs.
+func Mix(seed uint64, keys ...uint64) uint64 {
+	h := mix64(seed + golden)
+	for _, k := range keys {
+		h = mix64(h + golden + mix64(k+golden))
+	}
+	return h
+}
+
 // SplitMix64 is a 64-bit generator with a single word of state.
 // Its zero value is a valid generator seeded with 0.
 type SplitMix64 struct {
@@ -73,7 +92,21 @@ func New(seed uint64) *Xoshiro256 {
 // Distinct keys yield decorrelated streams even for adjacent seeds: both
 // words pass through the SplitMix64 finalizer before seeding.
 func NewStream(seed, key uint64) *Xoshiro256 {
-	return New(mix64(seed+golden) ^ mix64(key^0xd1b54a32d192ed03))
+	g := Stream(seed, key)
+	return &g
+}
+
+// Stream is NewStream returning the generator by value, for callers
+// that store generators inline (the noise bank holds 2·n·m of them and
+// re-seeds them in place without allocating).
+func Stream(seed, key uint64) Xoshiro256 {
+	sm := NewSplitMix64(mix64(seed+golden) ^ mix64(key^0xd1b54a32d192ed03))
+	return Xoshiro256{
+		s0: sm.Uint64(),
+		s1: sm.Uint64(),
+		s2: sm.Uint64(),
+		s3: sm.Uint64(),
+	}
 }
 
 func rotl(x uint64, k uint) uint64 {
@@ -94,14 +127,55 @@ func (g *Xoshiro256) Uint64() uint64 {
 }
 
 // Float64 returns a uniformly distributed value in [0, 1) with 53 bits of
-// precision, using the high bits of Uint64.
+// precision, using the high bits of Uint64. Scaling multiplies by the
+// exact power of two 2^-53 — bit-identical to dividing by 2^53, without
+// the hardware divide on the sampling hot path.
 func (g *Xoshiro256) Float64() float64 {
-	return float64(g.Uint64()>>11) / (1 << 53)
+	return float64(g.Uint64()>>11) * 0x1p-53
 }
 
 // Uniform returns a uniformly distributed value in [lo, hi).
 func (g *Xoshiro256) Uniform(lo, hi float64) float64 {
 	return lo + (hi-lo)*g.Float64()
+}
+
+// FillUniformPair writes len(a) consecutive uniforms lo + span·U[0,1)
+// from g into a and from h into b (len(b) must equal len(a)), advancing
+// both generators exactly len(a) steps. Sample i of each output is
+// bit-identical to what the i-th Float64 call on that generator would
+// return; the point of the bulk form is throughput: both xoshiro states
+// live in explicit locals for the whole loop (no per-draw state
+// load/store) and the two independent dependency chains pipeline
+// against each other. This is the inner loop of noise.Bank.FillBlock.
+func FillUniformPair(g, h *Xoshiro256, a, b []float64, lo, span float64) {
+	if len(b) != len(a) {
+		panic("rng: FillUniformPair buffers must have equal length")
+	}
+	g0, g1, g2, g3 := g.s0, g.s1, g.s2, g.s3
+	h0, h1, h2, h3 := h.s0, h.s1, h.s2, h.s3
+	for i := range a {
+		ra := rotl(g1*5, 7) * 9
+		t := g1 << 17
+		g2 ^= g0
+		g3 ^= g1
+		g1 ^= g2
+		g0 ^= g3
+		g2 ^= t
+		g3 = rotl(g3, 45)
+		a[i] = lo + span*(float64(ra>>11)*0x1p-53)
+
+		rb := rotl(h1*5, 7) * 9
+		u := h1 << 17
+		h2 ^= h0
+		h3 ^= h1
+		h1 ^= h2
+		h0 ^= h3
+		h2 ^= u
+		h3 = rotl(h3, 45)
+		b[i] = lo + span*(float64(rb>>11)*0x1p-53)
+	}
+	g.s0, g.s1, g.s2, g.s3 = g0, g1, g2, g3
+	h.s0, h.s1, h.s2, h.s3 = h0, h1, h2, h3
 }
 
 // Norm returns a standard normal variate generated by the polar

@@ -34,6 +34,21 @@ type Engine struct {
 	prodP      []int64
 	prodN      []int64
 	pre, suf   []int64
+
+	blk rtwBlock // StepBlock scratch, sized lazily to the largest block
+}
+
+// rtwBlock is the integer block-kernel working set: k samples per
+// source in source-major layout ([(i*m+j)*k+s]), plus blocked
+// per-variable products, prefix/suffix arrays, and accumulators.
+type rtwBlock struct {
+	k            int
+	posF, negF   []float64
+	pos, neg     []int64
+	prodP, prodN []int64
+	tau, sig, z  []int64
+	pre, suf     []int64
+	out          []float64 // float view of a block for the Welford path
 }
 
 // New builds an RTW engine. It returns an error if the formula's
@@ -133,6 +148,148 @@ func (e *Engine) Step() int64 {
 	return tau * sigma
 }
 
+// StepBlock computes len(out) consecutive exact S_N samples in one
+// bank pass. It performs, per sample, exactly the integer operations of
+// Step in the same order over the same streams, so a StepBlock equals
+// len(out) Steps value for value (asserted by the conformance tests);
+// the bank dispatch, binding switch, and scratch setup are amortized
+// over the block.
+func (e *Engine) StepBlock(out []int64) {
+	k := len(out)
+	if k == 0 {
+		return
+	}
+	n, m := e.n, e.m
+	b := e.ensureBlock(k)
+	nmk := n * m * k
+	e.bank.FillBlock(k, b.posF[:nmk], b.negF[:nmk])
+	for i := 0; i < nmk; i++ {
+		b.pos[i] = int64(b.posF[i])
+		b.neg[i] = int64(b.negF[i])
+	}
+
+	for i := 0; i < n; i++ {
+		pp := b.prodP[i*k : i*k+k]
+		pn := b.prodN[i*k : i*k+k]
+		for s := 0; s < k; s++ {
+			pp[s], pn[s] = 1, 1
+		}
+		for j := 0; j < m; j++ {
+			o := (i*m + j) * k
+			ps := b.pos[o : o+k]
+			ns := b.neg[o : o+k]
+			for s := 0; s < k; s++ {
+				pp[s] *= ps[s]
+				pn[s] *= ns[s]
+			}
+		}
+	}
+
+	tau := b.tau[:k]
+	for s := 0; s < k; s++ {
+		tau[s] = 1
+	}
+	for i := 0; i < n; i++ {
+		pp := b.prodP[i*k : i*k+k]
+		pn := b.prodN[i*k : i*k+k]
+		switch e.bound[i+1] {
+		case cnf.True:
+			for s := 0; s < k; s++ {
+				tau[s] *= pp[s]
+			}
+		case cnf.False:
+			for s := 0; s < k; s++ {
+				tau[s] *= pn[s]
+			}
+		default:
+			for s := 0; s < k; s++ {
+				tau[s] *= pp[s] + pn[s]
+			}
+		}
+	}
+
+	sig := b.sig[:k]
+	for s := 0; s < k; s++ {
+		sig[s] = 1
+	}
+	for j := 0; j < m; j++ {
+		pre, suf := b.pre, b.suf
+		for s := 0; s < k; s++ {
+			pre[s] = 1
+		}
+		for v := 0; v < n; v++ {
+			o := (v*m + j) * k
+			ps := b.pos[o : o+k]
+			ns := b.neg[o : o+k]
+			prev := pre[v*k : v*k+k]
+			next := pre[(v+1)*k : (v+1)*k+k]
+			for s := 0; s < k; s++ {
+				next[s] = prev[s] * (ps[s] + ns[s])
+			}
+		}
+		for s := 0; s < k; s++ {
+			suf[n*k+s] = 1
+		}
+		for v := n - 1; v >= 0; v-- {
+			o := (v*m + j) * k
+			ps := b.pos[o : o+k]
+			ns := b.neg[o : o+k]
+			prev := suf[(v+1)*k : (v+1)*k+k]
+			next := suf[v*k : v*k+k]
+			for s := 0; s < k; s++ {
+				next[s] = prev[s] * (ps[s] + ns[s])
+			}
+		}
+		z := b.z[:k]
+		for s := 0; s < k; s++ {
+			z[s] = 0
+		}
+		for _, l := range e.f.Clauses[j] {
+			v := int(l.Var()) - 1
+			o := (v*m + j) * k
+			lits := b.pos[o : o+k]
+			if l.IsNeg() {
+				lits = b.neg[o : o+k]
+			}
+			pr := pre[v*k : v*k+k]
+			sf := suf[(v+1)*k : (v+1)*k+k]
+			for s := 0; s < k; s++ {
+				z[s] += lits[s] * pr[s] * sf[s]
+			}
+		}
+		for s := 0; s < k; s++ {
+			sig[s] *= z[s]
+		}
+	}
+
+	for s := 0; s < k; s++ {
+		out[s] = tau[s] * sig[s]
+	}
+}
+
+// ensureBlock sizes the block scratch for blocks of up to k samples.
+func (e *Engine) ensureBlock(k int) *rtwBlock {
+	b := &e.blk
+	if k <= b.k {
+		return b
+	}
+	nm := e.n * e.m
+	b.k = k
+	b.posF = make([]float64, nm*k)
+	b.negF = make([]float64, nm*k)
+	b.pos = make([]int64, nm*k)
+	b.neg = make([]int64, nm*k)
+	b.prodP = make([]int64, e.n*k)
+	b.prodN = make([]int64, e.n*k)
+	b.tau = make([]int64, k)
+	b.sig = make([]int64, k)
+	b.z = make([]int64, k)
+	b.pre = make([]int64, (e.n+1)*k)
+	b.suf = make([]int64, (e.n+1)*k)
+	b.out = make([]float64, k)
+	return b
+}
+
 // Result reports an RTW check.
 type Result struct {
 	Satisfiable bool
@@ -148,18 +305,32 @@ func (e *Engine) Check(samples int64, theta float64) Result {
 	return r
 }
 
-// CheckCtx is Check with cancellation: the sampling loop polls ctx every
-// few thousand samples and returns the partial Result with ctx.Err()
-// when the context ends.
+// checkBlock is the sampling batch size of CheckCtx: cancellation is
+// polled at block boundaries.
+const checkBlock = 256
+
+// CheckCtx is Check with cancellation: the sampling loop advances in
+// blocks through the integer block kernel, polls ctx at every block
+// boundary, and returns the partial Result with ctx.Err() when the
+// context ends.
 func (e *Engine) CheckCtx(ctx context.Context, samples int64, theta float64) (Result, error) {
 	var w stats.Welford
-	for i := int64(0); i < samples; i++ {
-		if i&0xfff == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{Mean: w.Mean(), StdErr: w.StdErr(), Samples: w.Count()}, err
-			}
+	ints := make([]int64, checkBlock)
+	b := e.ensureBlock(checkBlock)
+	for i := int64(0); i < samples; {
+		if err := ctx.Err(); err != nil {
+			return Result{Mean: w.Mean(), StdErr: w.StdErr(), Samples: w.Count()}, err
 		}
-		w.Add(float64(e.Step()))
+		k := int64(len(ints))
+		if rem := samples - i; rem < k {
+			k = rem
+		}
+		e.StepBlock(ints[:k])
+		for s := int64(0); s < k; s++ {
+			b.out[s] = float64(ints[s])
+		}
+		w.AddN(b.out[:k])
+		i += k
 	}
 	se := w.StdErr()
 	sat := false

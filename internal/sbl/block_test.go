@@ -1,0 +1,32 @@
+package sbl
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestCarrierBankBlockBitIdentical checks the deterministic carrier
+// bank against the hyperspace block contract: FillBlock must equal k
+// successive Fill calls sample for sample, so the batched observation
+// loop reads exactly the DC component the scalar loop would.
+func TestCarrierBankBlockBitIdentical(t *testing.T) {
+	f := gen.PaperExample6()
+	scalar, err := New(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := New(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 5, 64, 33} {
+		out := make([]float64, k)
+		block.ev.StepBlock(out)
+		for s := 0; s < k; s++ {
+			if want := scalar.ev.Step().S; out[s] != want {
+				t.Fatalf("block %d sample %d: StepBlock %v != Step %v", k, s, out[s], want)
+			}
+		}
+	}
+}

@@ -118,11 +118,30 @@ func (b *carrierBank) Fill(pos, neg []float64) {
 	b.t++
 }
 
+// FillBlock evaluates every carrier at the next k time steps
+// (hyperspace.SampleSource block contract: source-major layout,
+// bit-identical to k Fill calls since the carriers are pure functions
+// of time).
+func (b *carrierBank) FillBlock(k int, pos, neg []float64) {
+	nm := b.n * b.m
+	for src := 0; src < nm; src++ {
+		o := src * k
+		for s := 0; s < k; s++ {
+			t := b.t + int64(s)
+			pos[o+s] = b.atTime(2*src, t)
+			neg[o+s] = b.atTime(2*src+1, t)
+		}
+	}
+	b.t += int64(k)
+}
+
 // at evaluates source idx at the bank's current time with exact integer
 // phase reduction (cycles·t mod period), avoiding precision loss for
 // large cycle counts.
-func (b *carrierBank) at(idx int) float64 {
-	phase := (b.cycles[idx] % b.period) * (b.t % b.period) % b.period
+func (b *carrierBank) at(idx int) float64 { return b.atTime(idx, b.t) }
+
+func (b *carrierBank) atTime(idx int, t int64) float64 {
+	phase := (b.cycles[idx] % b.period) * (t % b.period) % b.period
 	return math.Sqrt2 * math.Cos(2*math.Pi*float64(phase)/float64(b.period))
 }
 
@@ -207,9 +226,16 @@ func (e *Engine) Check() Result {
 	return r
 }
 
-// CheckCtx is Check with cancellation: the observation loop polls ctx
-// every few thousand samples and returns the partial window with
-// ctx.Err() when the context ends.
+// blockSize is the batch size of the observation loop: large enough to
+// amortize the carrier-bank dispatch, small enough that cancellation is
+// polled every few hundred samples.
+const blockSize = 256
+
+// CheckCtx is Check with cancellation: the observation loop advances in
+// blocks through the evaluator's block kernel and polls ctx at every
+// block boundary, returning the partial window with ctx.Err() when the
+// context ends. The DC accumulation order matches the scalar loop
+// sample for sample, so results are unchanged by the batching.
 func (e *Engine) CheckCtx(ctx context.Context) (Result, error) {
 	window := e.period
 	full := true
@@ -218,17 +244,24 @@ func (e *Engine) CheckCtx(ctx context.Context) (Result, error) {
 		full = false
 	}
 	var sum float64
-	for i := int64(0); i < window; i++ {
-		if i&0xfff == 0 {
-			if err := ctx.Err(); err != nil {
-				partial := Result{Samples: i}
-				if i > 0 {
-					partial.Mean = sum / float64(i)
-				}
-				return partial, err
+	buf := make([]float64, blockSize)
+	for i := int64(0); i < window; {
+		if err := ctx.Err(); err != nil {
+			partial := Result{Samples: i}
+			if i > 0 {
+				partial.Mean = sum / float64(i)
 			}
+			return partial, err
 		}
-		sum += e.ev.Step().S
+		k := int64(len(buf))
+		if rem := window - i; rem < k {
+			k = rem
+		}
+		e.ev.StepBlock(buf[:k])
+		for _, s := range buf[:k] {
+			sum += s
+		}
+		i += k
 	}
 	mean := sum / float64(window)
 	return Result{

@@ -33,11 +33,31 @@ func (w *Welford) Add(x float64) {
 	w.m2 += delta * (x - w.mean)
 }
 
-// AddN incorporates all values in xs.
+// AddN incorporates all values in xs. For blocks it is the fast path of
+// the block sampling kernel: the block's mean and squared deviations are
+// accumulated in registers with a classic two-pass sweep (one division
+// for the whole block instead of one per sample) and merged into w once
+// via the parallel update. The result is deterministic for a fixed
+// blocking, and the two-pass block moment is at least as accurate as the
+// sequential update it replaces.
 func (w *Welford) AddN(xs []float64) {
-	for _, x := range xs {
-		w.Add(x)
+	if len(xs) < 4 {
+		for _, x := range xs {
+			w.Add(x)
+		}
+		return
 	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+	}
+	w.Merge(Welford{n: int64(len(xs)), mean: mean, m2: m2})
 }
 
 // Merge combines another accumulator into w (Chan et al. parallel
@@ -91,7 +111,9 @@ func (w *Welford) String() string {
 
 // Convergence implements the paper's stopping rule: stop when the running
 // mean has been stable to Digits significant digits for Window
-// consecutive checks, or when MaxSamples observations have been seen.
+// consecutive checks (Check), or when MaxSamples observations have been
+// seen (Exhausted). The two halves of the rule are reported separately
+// so callers can distinguish a converged run from a budget-stopped one.
 type Convergence struct {
 	// Digits is the number of significant digits that must be stable.
 	// The paper uses 3.
@@ -122,13 +144,15 @@ func RoundSig(x float64, d int) float64 {
 	return math.Round(x*mag) / mag
 }
 
-// Check reports whether the run should stop given the current running
-// mean and observation count. Call it periodically (not necessarily every
-// sample); each call is one stability check.
-func (c *Convergence) Check(mean float64, n int64) bool {
-	if c.MaxSamples > 0 && n >= c.MaxSamples {
-		return true
-	}
+// Check reports whether the running mean has been stable to Digits
+// significant digits for Window consecutive calls. Call it periodically
+// (not necessarily every sample); each call is one stability check.
+//
+// Check reports stability ONLY. The sample budget is a separate signal —
+// callers test Exhausted (or their own loop bound) themselves, so
+// "converged" and "budget-stopped" are never conflated the way the old
+// combined return forced them to be.
+func (c *Convergence) Check(mean float64) bool {
 	cur := RoundSig(mean, c.Digits)
 	if c.primed && cur == c.prev {
 		c.stable++
@@ -138,6 +162,12 @@ func (c *Convergence) Check(mean float64, n int64) bool {
 	c.prev = cur
 	c.primed = true
 	return c.stable >= c.Window
+}
+
+// Exhausted reports whether n observations meet or exceed the MaxSamples
+// budget (always false when no budget is configured).
+func (c *Convergence) Exhausted(n int64) bool {
+	return c.MaxSamples > 0 && n >= c.MaxSamples
 }
 
 // Reset clears the detector's history but keeps its configuration.

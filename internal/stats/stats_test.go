@@ -145,7 +145,7 @@ func TestConvergenceStopsOnStableMean(t *testing.T) {
 	means := []float64{1.0, 1.1, 1.11, 1.112, 1.1118, 1.1121, 1.1119, 1.1122}
 	stopped := -1
 	for i, m := range means {
-		if c.Check(m, int64(i+1)) {
+		if c.Check(m) {
 			stopped = i
 			break
 		}
@@ -157,24 +157,36 @@ func TestConvergenceStopsOnStableMean(t *testing.T) {
 	}
 }
 
-func TestConvergenceHardBudget(t *testing.T) {
+func TestConvergenceBudgetSeparateFromStability(t *testing.T) {
 	c := &Convergence{Digits: 3, Window: 5, MaxSamples: 100}
-	if c.Check(1.0, 99) {
-		t.Error("should not stop before budget with unstable mean")
+	if c.Exhausted(99) {
+		t.Error("budget not exhausted at 99 of 100")
 	}
-	if !c.Check(2.0, 100) {
-		t.Error("must stop once MaxSamples is reached")
+	if !c.Exhausted(100) {
+		t.Error("budget exhausted at 100 of 100")
+	}
+	// Stability is reported independently of the budget: an unstable mean
+	// never reads as converged, no matter how many samples were consumed.
+	if c.Check(1.0) {
+		t.Error("single check cannot report stability")
+	}
+	if c.Check(2.0) {
+		t.Error("unstable mean past the budget must not read as converged")
+	}
+	unbudgeted := &Convergence{Digits: 3, Window: 1}
+	if unbudgeted.Exhausted(1 << 50) {
+		t.Error("MaxSamples = 0 means no budget")
 	}
 }
 
 func TestConvergenceReset(t *testing.T) {
 	c := &Convergence{Digits: 3, Window: 1, MaxSamples: 1 << 40}
-	c.Check(5.0, 1)
+	c.Check(5.0)
 	c.Reset()
-	if c.Check(5.0, 2) {
+	if c.Check(5.0) {
 		t.Error("first check after Reset cannot report convergence")
 	}
-	if !c.Check(5.0, 3) {
+	if !c.Check(5.0) {
 		t.Error("second identical check after Reset should converge (window 1)")
 	}
 }
