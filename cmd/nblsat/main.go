@@ -9,7 +9,10 @@
 // (infinite-sample NBL), rtw (integer-exact telegraph waves), sbl
 // (sinusoid carriers), analog (compiled block netlist), dpll, cdcl,
 // walksat, hybrid (NBL-guided DPLL), and portfolio (parallel race of
-// -members).
+// -members). Meta-engine expressions compose around any of them:
+// "pre(mc)" runs the preprocess-and-decompose pipeline in front of the
+// Monte-Carlo engine; -preprocess is shorthand for wrapping -engine in
+// pre(...).
 //
 // Exit codes follow the SAT competition convention: 10 when the verdict
 // is SATISFIABLE, 20 when UNSATISFIABLE, 0 when UNKNOWN, and 2 on usage
@@ -25,7 +28,6 @@ import (
 
 	"repro"
 	"repro/internal/dimacs"
-	"repro/internal/simplify"
 )
 
 // SAT-competition exit codes.
@@ -53,8 +55,9 @@ func main() {
 			"wall-clock budget for the solve; expiry yields UNKNOWN (0 = none)")
 		alloc = flag.String("alloc", "geometric4", "sbl carrier allocation: geometric4|linear")
 		prep  = flag.Bool("preprocess", false,
-			"simplify before solving (units, pure literals, subsumption); "+
-				"shrinking n·m cuts the NBL sample budget exponentially")
+			"run the solve pipeline (simplify + component decomposition) in front "+
+				"of -engine; shrinking n·m cuts the NBL sample budget exponentially. "+
+				"Shorthand for -engine pre(<engine>)")
 		sol = flag.Bool("sol", false,
 			"emit the verdict in SAT-competition format (s/v lines) on stdout")
 	)
@@ -72,27 +75,14 @@ func main() {
 	fmt.Fprintf(info, "instance: %d variables, %d clauses, %d literals\n",
 		f.NumVars, f.NumClauses(), f.NumLiterals())
 
-	orig := f
-	var pre *simplify.Result
+	engineName := *engine
 	if *prep {
-		r := simplify.Simplify(f, simplify.Options{})
-		fmt.Fprintf(info, "preprocess: %s\n", r.Stats)
-		if r.ProvedUnsat {
-			fmt.Fprintln(info, "preprocess: derived the empty clause")
-			report(f, repro.Result{Status: repro.StatusUnsat, Engine: "preprocess"})
-			return
-		}
-		if r.F.NumClauses() == 0 {
-			model := r.Reconstruct(repro.NewAssignment(r.F.NumVars))
-			report(f, repro.Result{
-				Status: repro.StatusSat, Assignment: model, Engine: "preprocess",
-			})
-			return
-		}
-		pre = r
-		f = r.F
-		fmt.Fprintf(info, "solving reduced instance: %d variables, %d clauses\n",
-			f.NumVars, f.NumClauses())
+		// The pipeline meta-engine subsumes the old inline preprocessing:
+		// it simplifies, short-circuits on preprocessing-proved verdicts,
+		// decomposes into variable-disjoint components, fans them out
+		// across the wrapped engine, and lifts component models back to
+		// the input variable space.
+		engineName = "pre(" + engineName + ")"
 	}
 
 	opts := []repro.Option{
@@ -113,7 +103,7 @@ func main() {
 		}
 		opts = append(opts, repro.WithMembers(lineup...))
 	}
-	s, err := repro.New(*engine, opts...)
+	s, err := repro.New(engineName, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,26 +115,24 @@ func main() {
 		defer cancel()
 	}
 	res, err := s.Solve(ctx, f)
+	if *prep && res.Stats.NMBefore > 0 {
+		fmt.Fprintf(info, "preprocess: n·m %d -> %d, %d component(s)\n",
+			res.Stats.NMBefore, res.Stats.NMAfter, res.Stats.Components)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
-			fmt.Fprintf(info, "%s: %v after %v (stats: %+v)\n", *engine, err, res.Wall, res.Stats)
-			report(orig, res) // UNKNOWN
+			fmt.Fprintf(info, "%s: %v after %v (stats: %+v)\n", engineName, err, res.Wall, res.Stats)
+			report(f, res) // UNKNOWN
 			return
 		}
 		fatal(err)
 	}
-	if pre != nil && res.Assignment != nil {
-		// Lift the model from the reduced variable space back to the
-		// input CNF so the printed assignment (and any -sol certificate)
-		// checks against the instance the user supplied.
-		res.Assignment = pre.Reconstruct(res.Assignment)
-	}
 	verdictBy := res.Engine // for portfolio this names the winning member
-	if verdictBy != *engine {
-		verdictBy = *engine + " (won by " + res.Engine + ")"
+	if verdictBy != engineName {
+		verdictBy = engineName + " (won by " + res.Engine + ")"
 	}
 	fmt.Fprintf(info, "engine %s: %v in %v (stats: %+v)\n", verdictBy, res.Status, res.Wall, res.Stats)
-	report(orig, res)
+	report(f, res)
 }
 
 // solMode is set from the -sol flag; report honors it by emitting

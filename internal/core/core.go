@@ -53,6 +53,12 @@ type Options struct {
 	// Workers is the number of parallel sampling goroutines. Default 1;
 	// results are deterministic for a fixed worker count.
 	Workers int
+	// Block overrides the sampling batch size. Default 0 selects the
+	// cache-aware hyperspace.BlockSize for the instance geometry. The
+	// per-source sample streams are identical for every block size
+	// (SampleSource's FillBlock contract), so Block never changes
+	// results — only throughput.
+	Block int
 }
 
 // withDefaults fills zero fields with defaults.

@@ -11,11 +11,11 @@ import (
 	"repro/internal/stats"
 )
 
-// sampleBlock is the batch size of the block sampling kernel: large
-// enough to amortize the bank dispatch and evaluator scratch setup,
-// small enough that cancellation polls (which happen at block
-// boundaries) stay responsive and the block buffers stay cache-resident.
-const sampleBlock = 256
+// The batch size of the block sampling kernel is chosen per instance
+// geometry by hyperspace.BlockSize: large enough to amortize the bank
+// dispatch and evaluator scratch setup, small enough that cancellation
+// polls (which happen at block boundaries) stay responsive and the SoA
+// block buffers stay cache-resident (Options.Block overrides).
 
 // workerState is one worker's persistent sampling machinery: a noise
 // bank, the evaluator wired to it, and the block sample buffer. It is
@@ -50,7 +50,11 @@ func (e *Engine) evaluator(bound cnf.Assignment, seq uint64, w int) *hyperspace.
 	if st.bank == nil {
 		st.bank = noise.NewBank(e.opts.Family, seed, e.f.NumVars, e.f.NumClauses())
 		st.ev = hyperspace.New(e.f, st.bank)
-		st.buf = make([]float64, sampleBlock)
+		k := e.opts.Block
+		if k <= 0 {
+			k = hyperspace.BlockSize(e.f.NumVars, e.f.NumClauses())
+		}
+		st.buf = make([]float64, k)
 	} else {
 		st.bank.Reseed(seed)
 	}

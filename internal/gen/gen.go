@@ -59,6 +59,28 @@ func PaperExample7() *cnf.Formula {
 	return cnf.FromClauses([]int{1}, []int{-1})
 }
 
+// DisjointUnion conjoins the given formulas over disjoint variable
+// ranges: the i-th input's variables are shifted past all earlier
+// inputs', so no variable is shared and the result's satisfiability is
+// the conjunction of the inputs'. This is the canonical decomposable
+// workload: the combined n·m is far beyond any NBL sampling budget
+// while each connected component keeps its original, small n·m.
+func DisjointUnion(fs ...*cnf.Formula) *cnf.Formula {
+	out := cnf.New(0)
+	for _, f := range fs {
+		offset := cnf.Var(out.NumVars)
+		for _, c := range f.Clauses {
+			d := make(cnf.Clause, len(c))
+			for i, l := range c {
+				d[i] = cnf.NewLit(l.Var()+offset, l.IsNeg())
+			}
+			out.Clauses = append(out.Clauses, d)
+		}
+		out.NumVars += f.NumVars
+	}
+	return out
+}
+
 // RandomKSAT returns a uniform random k-SAT formula with n variables and
 // m clauses: each clause draws k distinct variables uniformly and negates
 // each independently with probability 1/2. It panics if k > n or n < 1.

@@ -1,0 +1,31 @@
+package hyperspace
+
+// BlockSize returns the cache-aware sampling batch size for an n×m
+// instance geometry: the largest power of two in [16, 256] whose
+// StepBlock working set stays within a conservative L2 budget.
+//
+// The block working set is dominated by the SoA source matrices —
+// 2·n·m·k float64s — plus per-variable product arrays of order n·k, so
+// ~16·n·m·k bytes in total. At the paper's geometry (n·m = 8) any
+// block fits and 256 amortizes dispatch best; at SATLIB scale
+// (uf20-91, n·m = 1820) a 256-sample block is ~7.5 MB and spills L2 on
+// every pass (measured: k = 16..128 beats 256 there by ~10%). The
+// budget is kept to 2 MiB — an L2 on current server cores, and still
+// cache-resident-ish under the shared L2/L3 of older parts — and the
+// floor of 16 keeps the per-block dispatch overhead amortized even for
+// huge instances, where the working set spills regardless of k.
+func BlockSize(n, m int) int { return BlockSizeBytes(n, m, 16) }
+
+// BlockSizeBytes is BlockSize for a kernel holding bytesPerCell bytes
+// of block scratch per (source pair, sample) cell. The float evaluator
+// keeps the two float64 source matrices (16 bytes); rtw's integer twin
+// additionally keeps int64 copies of both (32 bytes), so its blocks
+// halve again at the same geometry.
+func BlockSizeBytes(n, m, bytesPerCell int) int {
+	const budget = 2 << 20 // bytes of SoA working set to stay under
+	k := 256
+	for k > 16 && bytesPerCell*n*m*k > budget {
+		k >>= 1
+	}
+	return k
+}

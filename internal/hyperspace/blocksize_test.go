@@ -1,0 +1,46 @@
+package hyperspace
+
+import "testing"
+
+func TestBlockSizeBoundsAndMonotonicity(t *testing.T) {
+	geoms := [][2]int{
+		{1, 1}, {2, 4}, {3, 4}, {8, 30}, {20, 91}, {50, 218}, {100, 430}, {1000, 4300},
+	}
+	prev := 1 << 30
+	for _, g := range geoms {
+		k := BlockSize(g[0], g[1])
+		if k < 16 || k > 256 {
+			t.Errorf("BlockSize(%d,%d) = %d outside [16,256]", g[0], g[1], k)
+		}
+		if k&(k-1) != 0 {
+			t.Errorf("BlockSize(%d,%d) = %d not a power of two", g[0], g[1], k)
+		}
+		if k > prev {
+			t.Errorf("BlockSize not monotone: %d after %d for geometry %v", k, prev, g)
+		}
+		prev = k
+	}
+}
+
+func TestBlockSizePaperAndSATLIBRegimes(t *testing.T) {
+	if k := BlockSize(2, 4); k != 256 {
+		t.Errorf("paper geometry should take the full 256-sample block, got %d", k)
+	}
+	// uf20-91: measured k = 16..128 beats 256 by ~10% (ROADMAP); the
+	// cache model must land in that window.
+	if k := BlockSize(20, 91); k < 16 || k > 128 {
+		t.Errorf("uf20-91 block size %d outside the measured 16..128 window", k)
+	}
+	// The working set must stay under budget whenever k is above the floor.
+	for _, g := range [][2]int{{20, 91}, {100, 430}} {
+		k := BlockSize(g[0], g[1])
+		if k > 16 && 16*g[0]*g[1]*k > 2<<20 {
+			t.Errorf("BlockSize(%d,%d) = %d exceeds the L2 budget", g[0], g[1], k)
+		}
+	}
+	// A heavier kernel (rtw keeps int64 twins of both matrices) must
+	// get a smaller block at the same geometry, within the same budget.
+	if f, r := BlockSize(20, 91), BlockSizeBytes(20, 91, 32); r > f || 32*20*91*r > 2<<20 {
+		t.Errorf("BlockSizeBytes(20,91,32) = %d vs BlockSize %d: heavier kernel must not get a larger or over-budget block", r, f)
+	}
+}

@@ -1,0 +1,198 @@
+// Package pipeline makes preprocessing and decomposition first-class
+// members of the engine registry instead of a CLI afterthought: the
+// "pre" meta-engine — reachable as "pre(<engine>)" through
+// solver.New — runs the full solve pipeline
+//
+//	Simplify -> short-circuit -> Decompose -> fan out -> merge
+//
+// around any wrapped engine.
+//
+// Why a pipeline matters here more than in a classical solver: the
+// Monte-Carlo NBL engine's signal-to-noise ratio collapses as 4^(n·m)
+// (Section III-F of the paper), so it can only decide instances with a
+// tiny variables×clauses product. Preprocessing (unit propagation, pure
+// literals, subsumption, strengthening, bounded variable elimination)
+// shrinks n·m directly, and connected-component decomposition replaces
+// one n·m with the per-component products — a variable-disjoint union
+// of k small subformulas costs the NBL engine max_i(n_i·m_i), not
+// (Σn_i)(Σm_i). Both reductions happen before any noise is drawn.
+//
+// The pipeline stages:
+//
+//  1. Simplify proves equisatisfiable reductions. If it derives the
+//     empty clause the answer is UNSAT with zero samples; if it
+//     eliminates every clause the answer is SAT and Reconstruct
+//     produces a model from the forced values alone.
+//  2. Decompose splits the reduced formula into variable-disjoint
+//     components by union-find over clauses.
+//  3. Every component is solved concurrently by a fresh instance of the
+//     wrapped engine, all sharing the caller's context (and therefore
+//     its deadline budget). The first UNSAT component cancels the rest:
+//     the conjunction is already decided.
+//  4. Verdicts merge: any UNSAT -> UNSAT; otherwise any UNKNOWN (or
+//     error) -> UNKNOWN; otherwise SAT, with the component models
+//     lifted through Component.Lift and simplify.Reconstruct back to
+//     the input variable space when every component produced one.
+//
+// Result.Stats carries the reduction trail: NMBefore/NMAfter bracket
+// the preprocessing, Components counts the fan-out, and the wrapped
+// engines' effort counters are summed.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cnf"
+	"repro/internal/simplify"
+	"repro/internal/solver"
+)
+
+func init() {
+	solver.RegisterMeta("pre", func(inner string, cfg solver.Config) (solver.Solver, error) {
+		return New(inner, cfg)
+	})
+}
+
+// Pipeline is the preprocess-and-decompose meta-engine around one inner
+// engine expression. Construct with New or via
+// solver.New("pre(<engine>)").
+type Pipeline struct {
+	inner string
+	cfg   solver.Config
+	// Simplify selects the preprocessing passes (zero value: all).
+	Simplify simplify.Options
+}
+
+// New validates the inner engine expression and returns the pipeline.
+// Every component solve constructs a fresh inner engine from cfg, so
+// stateful engines never share between components.
+func New(inner string, cfg solver.Config) (*Pipeline, error) {
+	if inner == "" {
+		return nil, fmt.Errorf("pipeline: pre() needs an inner engine, e.g. pre(mc)")
+	}
+	// Fail at construction, not first Solve, on an unknown inner name.
+	if _, err := solver.NewWith(inner, cfg); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	return &Pipeline{inner: inner, cfg: cfg}, nil
+}
+
+// Solve implements solver.Solver.
+func (p *Pipeline) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	pre := simplify.Simplify(f, p.Simplify)
+	out := solver.Result{Stats: solver.Stats{
+		NMBefore: int64(pre.Stats.NMBefore()),
+		NMAfter:  int64(pre.Stats.NMAfter()),
+	}}
+
+	if pre.ProvedUnsat {
+		out.Status = solver.StatusUnsat
+		return out, nil
+	}
+	if pre.F.NumClauses() == 0 {
+		// Everything was forced or freed: any completion of the forced
+		// values is a model.
+		out.Status = solver.StatusSat
+		out.Assignment = pre.Reconstruct(cnf.NewAssignment(pre.F.NumVars))
+		return out, nil
+	}
+
+	comps := simplify.Decompose(pre.F)
+	out.Stats.Components = int64(len(comps))
+	for _, c := range comps {
+		for _, cl := range c.F.Clauses {
+			if len(cl) == 0 {
+				// Defensive: Simplify leaves no empty clauses, but a
+				// caller-supplied Simplify option set might.
+				out.Status = solver.StatusUnsat
+				return out, nil
+			}
+		}
+	}
+
+	// Fan the components out across fresh inner engines sharing ctx.
+	// One UNSAT component decides the conjunction, so it cancels the
+	// rest through compCtx.
+	compCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type slot struct {
+		r   solver.Result
+		err error
+	}
+	results := make([]slot, len(comps))
+	var wg sync.WaitGroup
+	for i, comp := range comps {
+		s, err := solver.NewWith(p.inner, p.cfg)
+		if err != nil {
+			return out, err
+		}
+		wg.Add(1)
+		go func(i int, comp *simplify.Component, s solver.Solver) {
+			defer wg.Done()
+			r, err := s.Solve(compCtx, comp.F)
+			results[i] = slot{r, err}
+			if err == nil && r.Status == solver.StatusUnsat {
+				cancel()
+			}
+		}(i, comp, s)
+	}
+	wg.Wait()
+
+	// Merge. Stats counters sum across components; the first sampling
+	// statistic seen survives (component statistics are per-subformula
+	// and cannot be combined).
+	var (
+		unsat    bool
+		unknown  bool
+		firstErr error
+	)
+	model := cnf.NewAssignment(pre.F.NumVars)
+	haveModels := true
+	for i, o := range results {
+		if out.Stats.StdErr == 0 && o.r.Stats.StdErr != 0 {
+			out.Stats.Mean, out.Stats.StdErr = o.r.Stats.Mean, o.r.Stats.StdErr
+		}
+		out.Stats.Add(o.r.Stats)
+		switch {
+		case o.err == nil && o.r.Status == solver.StatusUnsat:
+			unsat = true
+		case o.err == nil && o.r.Status == solver.StatusSat:
+			if o.r.Assignment != nil {
+				comps[i].Lift(o.r.Assignment, model)
+			} else {
+				haveModels = false
+			}
+		case o.err == nil:
+			unknown = true
+		case compCtx.Err() != nil && ctx.Err() == nil:
+			// Cancelled loser of a decided conjunction, not a failure.
+			unknown = true
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pipeline %s component %d/%d: %w",
+					p.inner, i+1, len(comps), o.err)
+			}
+		}
+	}
+
+	switch {
+	case unsat:
+		out.Status = solver.StatusUnsat
+		return out, nil
+	case ctx.Err() != nil:
+		return out, ctx.Err()
+	case firstErr != nil:
+		return out, firstErr
+	case unknown:
+		out.Status = solver.StatusUnknown
+		return out, nil
+	}
+	out.Status = solver.StatusSat
+	if haveModels {
+		out.Assignment = pre.Reconstruct(model)
+	}
+	return out, nil
+}

@@ -76,3 +76,33 @@ func TestCheckCtxMatchesScalarAccumulation(t *testing.T) {
 		t.Fatal("PaperSAT must test satisfiable")
 	}
 }
+
+// TestCheckBlockSizeNeverChangesVerdict pins the cache-aware batch
+// size contract at the Check level: any block size draws the same
+// integer sample stream, so the verdict (and sample count) must be
+// invariant; only the Welford merge order — and so at most ulps of the
+// float mean — may differ.
+func TestCheckBlockSizeNeverChangesVerdict(t *testing.T) {
+	g := rng.New(17)
+	for _, f := range []*cnf.Formula{
+		gen.PaperSAT(), gen.PaperUNSAT(), gen.RandomKSAT(g, 5, 8, 3),
+	} {
+		ref, err := New(f, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Check(20_000, 4)
+		for _, block := range []int{16, 100, 256} {
+			e, err := New(f, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.block = block
+			got := e.Check(20_000, 4)
+			if got.Satisfiable != want.Satisfiable || got.Samples != want.Samples {
+				t.Errorf("%s block=%d: (%v, %d samples) != (%v, %d samples)",
+					f, block, got.Satisfiable, got.Samples, want.Satisfiable, want.Samples)
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math/bits"
 
 	"repro/internal/cnf"
+	"repro/internal/hyperspace"
 	"repro/internal/noise"
 	"repro/internal/stats"
 )
@@ -28,6 +29,11 @@ type Engine struct {
 	n, m int
 
 	bound cnf.Assignment
+
+	// block is the CheckCtx batch size, chosen cache-aware from the
+	// instance geometry at construction (tests override it to prove
+	// verdict invariance).
+	block int
 
 	posF, negF []float64 // bank fill buffers (±1 as floats)
 	pos, neg   []int64
@@ -76,6 +82,9 @@ func New(f *cnf.Formula, seed uint64) (*Engine, error) {
 	return &Engine{
 		f: f, bank: noise.NewBank(noise.RTW, seed, n, m), n: n, m: m,
 		bound: cnf.NewAssignment(n),
+		// 32 bytes per source cell: the block kernel keeps float64 fill
+		// buffers and their int64 conversions for both polarities.
+		block: hyperspace.BlockSizeBytes(n, m, 32),
 		posF:  make([]float64, nm), negF: make([]float64, nm),
 		pos: make([]int64, nm), neg: make([]int64, nm),
 		prodP: make([]int64, n), prodN: make([]int64, n),
@@ -305,18 +314,16 @@ func (e *Engine) Check(samples int64, theta float64) Result {
 	return r
 }
 
-// checkBlock is the sampling batch size of CheckCtx: cancellation is
-// polled at block boundaries.
-const checkBlock = 256
-
 // CheckCtx is Check with cancellation: the sampling loop advances in
-// blocks through the integer block kernel, polls ctx at every block
-// boundary, and returns the partial Result with ctx.Err() when the
-// context ends.
+// blocks of the cache-aware e.block size through the integer block
+// kernel, polls ctx at every block boundary, and returns the partial
+// Result with ctx.Err() when the context ends. The per-source streams
+// are identical for any block size, so the batch size never changes
+// the verdict.
 func (e *Engine) CheckCtx(ctx context.Context, samples int64, theta float64) (Result, error) {
 	var w stats.Welford
-	ints := make([]int64, checkBlock)
-	b := e.ensureBlock(checkBlock)
+	ints := make([]int64, e.block)
+	b := e.ensureBlock(e.block)
 	for i := int64(0); i < samples; {
 		if err := ctx.Err(); err != nil {
 			return Result{Mean: w.Mean(), StdErr: w.StdErr(), Samples: w.Count()}, err

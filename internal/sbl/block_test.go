@@ -30,3 +30,27 @@ func TestCarrierBankBlockBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckBlockSizeNeverChangesVerdict pins the cache-aware batch
+// size contract at the Check level: the DC sum is accumulated in
+// sample order regardless of batching, so Check results must be
+// bit-identical for every block size.
+func TestCheckBlockSizeNeverChangesVerdict(t *testing.T) {
+	f := gen.PaperExample6()
+	ref, err := New(f, Options{MaxSamples: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Check()
+	for _, block := range []int{16, 100, 256} {
+		e, err := New(f, Options{MaxSamples: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.block = block
+		got := e.Check()
+		if got != want {
+			t.Errorf("block=%d: %+v != %+v", block, got, want)
+		}
+	}
+}

@@ -152,6 +152,9 @@ type Engine struct {
 	period int64
 	ev     *hyperspace.Evaluator
 	bank   *carrierBank
+	// block is the observation batch size, chosen cache-aware from the
+	// instance geometry (tests override it to prove verdict invariance).
+	block int
 }
 
 // maxGeometricSources caps Geometric4 so cycle counts stay well inside
@@ -197,7 +200,10 @@ func New(f *cnf.Formula, opts Options) (*Engine, error) {
 	}
 
 	bank := &carrierBank{n: n, m: m, cycles: cycles, period: period}
-	return &Engine{f: f, opts: o, period: period, ev: hyperspace.New(f, bank), bank: bank}, nil
+	return &Engine{
+		f: f, opts: o, period: period, ev: hyperspace.New(f, bank), bank: bank,
+		block: hyperspace.BlockSize(n, m),
+	}, nil
 }
 
 // Period returns the common period of all carriers in samples; observing
@@ -226,16 +232,12 @@ func (e *Engine) Check() Result {
 	return r
 }
 
-// blockSize is the batch size of the observation loop: large enough to
-// amortize the carrier-bank dispatch, small enough that cancellation is
-// polled every few hundred samples.
-const blockSize = 256
-
 // CheckCtx is Check with cancellation: the observation loop advances in
-// blocks through the evaluator's block kernel and polls ctx at every
-// block boundary, returning the partial window with ctx.Err() when the
-// context ends. The DC accumulation order matches the scalar loop
-// sample for sample, so results are unchanged by the batching.
+// cache-aware e.block batches through the evaluator's block kernel and
+// polls ctx at every block boundary, returning the partial window with
+// ctx.Err() when the context ends. The DC accumulation order matches
+// the scalar loop sample for sample, so results are unchanged by the
+// batching — for any block size.
 func (e *Engine) CheckCtx(ctx context.Context) (Result, error) {
 	window := e.period
 	full := true
@@ -244,7 +246,7 @@ func (e *Engine) CheckCtx(ctx context.Context) (Result, error) {
 		full = false
 	}
 	var sum float64
-	buf := make([]float64, blockSize)
+	buf := make([]float64, e.block)
 	for i := int64(0); i < window; {
 		if err := ctx.Err(); err != nil {
 			partial := Result{Samples: i}

@@ -1,0 +1,159 @@
+package simplify
+
+import (
+	"repro/internal/cnf"
+)
+
+// Bounded variable elimination (NiVER-style): a variable v with
+// positive occurrences P and negative occurrences N can be resolved
+// away — P∪N is replaced by the set R of non-tautological resolvents of
+// every (p, n) pair — and the result is equisatisfiable. The pass is
+// *bounded*: v is eliminated only when |R| ≤ |P| + |N| (the clause
+// count never grows) and |P|·|N| stays under a small work cap, the
+// regime where elimination is always a win for the NBL engines (n
+// shrinks by one, m does not grow, so n·m strictly drops).
+//
+// Eliminations are recorded on Result.Eliminations so Reconstruct can
+// extend a model of the reduced formula back over the eliminated
+// variables.
+
+// maxResolvePairs caps |P|·|N| per candidate so a variable occurring in
+// half the clauses cannot make the pass quadratic in m.
+const maxResolvePairs = 64
+
+// Elimination records one variable eliminated by resolution: the
+// variable and the clauses (in parent variable space) that mentioned it
+// at the time. Reconstruct replays these in reverse to pick a value for
+// V that satisfies all of them.
+type Elimination struct {
+	V       cnf.Var
+	Clauses []cnf.Clause
+}
+
+// eliminate runs one sweep of bounded variable elimination. conflict
+// reports that an empty resolvent was derived (only possible when both
+// sides are unit clauses, i.e. (v)·(¬v) — normally unit propagation has
+// removed those first).
+func eliminate(clauses []cnf.Clause, numVars int, res *Result) (out []cnf.Clause, conflict, changed bool) {
+	// Occurrence lists, rebuilt per sweep (elimination invalidates them).
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		var pos, neg []int
+		for i, c := range clauses {
+			switch {
+			case c.Contains(cnf.Pos(v)):
+				pos = append(pos, i)
+			case c.Contains(cnf.Neg(v)):
+				neg = append(neg, i)
+			}
+		}
+		if len(pos) == 0 || len(neg) == 0 {
+			continue // absent or pure: the pure pass handles it
+		}
+		if len(pos)*len(neg) > maxResolvePairs {
+			continue
+		}
+		resolvents := make([]cnf.Clause, 0, len(pos)*len(neg))
+		for _, pi := range pos {
+			for _, ni := range neg {
+				r, ok := resolve(clauses[pi], clauses[ni], v)
+				if !ok {
+					continue // tautological resolvent
+				}
+				if len(r) == 0 {
+					return nil, true, true
+				}
+				resolvents = append(resolvents, r)
+			}
+		}
+		resolvents = dedupClauses(resolvents)
+		if len(resolvents) > len(pos)+len(neg) {
+			continue // elimination would grow the formula
+		}
+
+		// Commit: record the removed clauses for reconstruction, splice
+		// in the resolvents.
+		elim := Elimination{V: v}
+		next := make([]cnf.Clause, 0, len(clauses)-len(pos)-len(neg)+len(resolvents))
+		touched := make(map[int]bool, len(pos)+len(neg))
+		for _, i := range pos {
+			touched[i] = true
+		}
+		for _, i := range neg {
+			touched[i] = true
+		}
+		for i, c := range clauses {
+			if touched[i] {
+				elim.Clauses = append(elim.Clauses, c)
+			} else {
+				next = append(next, c)
+			}
+		}
+		next = append(next, resolvents...)
+		res.Eliminations = append(res.Eliminations, elim)
+		res.Stats.VarsEliminated++
+		clauses = next
+		changed = true
+	}
+	return clauses, false, changed
+}
+
+// resolve computes the resolvent of p (containing v) and n (containing
+// ¬v) on v. ok is false when the resolvent is tautological.
+func resolve(p, n cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
+	seen := make(map[cnf.Lit]bool, len(p)+len(n))
+	out := make(cnf.Clause, 0, len(p)+len(n)-2)
+	for _, l := range p {
+		if l.Var() == v {
+			continue
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	for _, l := range n {
+		if l.Var() == v {
+			continue
+		}
+		if seen[l.Negate()] {
+			return nil, false
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out, true
+}
+
+// dedupClauses removes exact duplicate clauses (same literal multiset;
+// clauses are compared as sets since resolve dedups literals).
+func dedupClauses(clauses []cnf.Clause) []cnf.Clause {
+	out := clauses[:0:0]
+	for i, c := range clauses {
+		dup := false
+		for _, d := range out {
+			if sameClause(c, d) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, clauses[i])
+		}
+	}
+	return out
+}
+
+// sameClause reports set equality of two duplicate-free clauses.
+func sameClause(a, b cnf.Clause) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, l := range a {
+		if !b.Contains(l) {
+			return false
+		}
+	}
+	return true
+}

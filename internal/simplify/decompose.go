@@ -1,0 +1,102 @@
+package simplify
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// Component is one variable-disjoint subformula of a decomposition: no
+// variable of F occurs in any other component, so the components can be
+// solved independently and their verdicts conjoined (the parent formula
+// is SAT iff every component is SAT).
+//
+// F is expressed over compacted variables 1..F.NumVars; VarMap maps
+// them back to the parent formula's variables.
+type Component struct {
+	// F is the component formula over compacted variables.
+	F *cnf.Formula
+	// VarMap maps compacted variable v to the parent variable
+	// VarMap[v-1].
+	VarMap []cnf.Var
+}
+
+// NM returns the component's n·m product, the quantity that drives the
+// NBL sample budget. Decomposition's whole value is that each
+// component's NM is far below the parent's.
+func (c *Component) NM() int { return c.F.NumVars * c.F.NumClauses() }
+
+// Lift writes a model of the component formula into an assignment over
+// the parent formula's variables (only the component's own variables
+// are touched).
+func (c *Component) Lift(model cnf.Assignment, into cnf.Assignment) {
+	for i, parent := range c.VarMap {
+		into.Set(parent, model.Get(cnf.Var(i+1)))
+	}
+}
+
+// Decompose splits f into its variable-disjoint connected components:
+// two clauses are connected when they share a variable, computed by
+// union-find over each clause's variables. Components are returned in
+// ascending order of their smallest parent variable, so the split is
+// deterministic. Variables that occur in no clause belong to no
+// component (any value satisfies them); clauses with no literals (the
+// empty clause, which makes the parent trivially UNSAT) are returned as
+// a zero-variable component so callers see them structurally.
+//
+// A formula whose variable-interaction graph is connected comes back as
+// a single component — decomposition is then a no-op and callers should
+// fall through to solving the formula whole.
+func Decompose(f *cnf.Formula) []*Component {
+	parent := make([]int32, f.NumVars+1)
+	for v := range parent {
+		parent[v] = int32(v)
+	}
+	var find func(v int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // smaller root wins: deterministic ordering
+		}
+	}
+
+	for _, c := range f.Clauses {
+		for i := 1; i < len(c); i++ {
+			union(int32(c[0].Var()), int32(c[i].Var()))
+		}
+	}
+
+	// Group clauses by their root variable. Empty clauses collect under
+	// the pseudo-root 0, which no variable can reach.
+	groups := map[int32][]cnf.Clause{}
+	for _, c := range f.Clauses {
+		root := int32(0)
+		if len(c) > 0 {
+			root = find(int32(c[0].Var()))
+		}
+		groups[root] = append(groups[root], c)
+	}
+
+	roots := make([]int32, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	out := make([]*Component, 0, len(groups))
+	for _, root := range roots {
+		g, vars := compact(groups[root])
+		out = append(out, &Component{F: g, VarMap: vars})
+	}
+	return out
+}

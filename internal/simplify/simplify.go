@@ -26,6 +26,8 @@ type Options struct {
 	DisableSubsumption bool
 	// DisableStrengthen skips self-subsuming resolution.
 	DisableStrengthen bool
+	// DisableBVE skips bounded variable elimination.
+	DisableBVE bool
 	// MaxRounds bounds the fixpoint iteration (default 20).
 	MaxRounds int
 }
@@ -43,6 +45,10 @@ type Result struct {
 	// VarMap maps compacted variable v (1-based index into VarMap-1) to
 	// the original variable it renames.
 	VarMap []cnf.Var
+	// Eliminations lists the variables removed by bounded variable
+	// elimination, in the order they were eliminated. Reconstruct
+	// replays them in reverse to extend a model over them.
+	Eliminations []Elimination
 	// Stats summarizes the reduction.
 	Stats Stats
 }
@@ -53,6 +59,7 @@ type Stats struct {
 	PureLiterals                int
 	ClausesSubsumed             int
 	LiteralsStrength            int
+	VarsEliminated              int
 	VarsBefore, VarsAfter       int
 	ClausesBefore, ClausesAfter int
 }
@@ -65,9 +72,9 @@ func (s Stats) NMBefore() int { return s.VarsBefore * s.ClausesBefore }
 func (s Stats) NMAfter() int { return s.VarsAfter * s.ClausesAfter }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("units=%d pure=%d subsumed=%d strengthened=%d  n·m %d -> %d",
+	return fmt.Sprintf("units=%d pure=%d subsumed=%d strengthened=%d eliminated=%d  n·m %d -> %d",
 		s.UnitsPropagated, s.PureLiterals, s.ClausesSubsumed, s.LiteralsStrength,
-		s.NMBefore(), s.NMAfter())
+		s.VarsEliminated, s.NMBefore(), s.NMAfter())
 }
 
 // Simplify preprocesses f.
@@ -114,6 +121,16 @@ func Simplify(f *cnf.Formula, opts Options) *Result {
 				clauses, changed = c, true
 			}
 		}
+		if !opts.DisableBVE {
+			c, conflict, ch := eliminate(clauses, f.NumVars, res)
+			if conflict {
+				res.ProvedUnsat = true
+				return res
+			}
+			if ch {
+				clauses, changed = c, true
+			}
+		}
 		if !changed {
 			break
 		}
@@ -128,7 +145,17 @@ func Simplify(f *cnf.Formula, opts Options) *Result {
 		}
 	}
 
-	// Compact variables.
+	res.F, res.VarMap = compact(clauses)
+	res.Stats.VarsAfter = res.F.NumVars
+	res.Stats.ClausesAfter = res.F.NumClauses()
+	return res
+}
+
+// compact renumbers the variables occurring in clauses to 1..n in
+// ascending order of their original identity, returning the compacted
+// formula and the map from compacted variable v to the original
+// variable varMap[v-1]. Shared by Simplify and Decompose.
+func compact(clauses []cnf.Clause) (*cnf.Formula, []cnf.Var) {
 	used := map[cnf.Var]bool{}
 	for _, c := range clauses {
 		for _, l := range c {
@@ -152,16 +179,15 @@ func Simplify(f *cnf.Formula, opts Options) *Result {
 		}
 		out.Clauses = append(out.Clauses, d)
 	}
-	res.F = out
-	res.VarMap = vars
-	res.Stats.VarsAfter = out.NumVars
-	res.Stats.ClausesAfter = out.NumClauses()
-	return res
+	return out, vars
 }
 
 // Reconstruct lifts a model of the simplified formula to a total
 // assignment of the original formula: forced values first, then the
-// model through VarMap, then false for anything left free.
+// model through VarMap, then false for anything left free, then the
+// variables removed by bounded variable elimination, replayed in
+// reverse elimination order so each one's removed clauses come out
+// satisfied.
 func (r *Result) Reconstruct(model cnf.Assignment) cnf.Assignment {
 	out := r.Forced.Clone()
 	for i, orig := range r.VarMap {
@@ -170,6 +196,39 @@ func (r *Result) Reconstruct(model cnf.Assignment) cnf.Assignment {
 	for v := 1; v < len(out); v++ {
 		if out[v] == cnf.Unassigned {
 			out[v] = cnf.False
+		}
+	}
+	for i := len(r.Eliminations) - 1; i >= 0; i-- {
+		e := r.Eliminations[i]
+		// v must be true iff some clause containing the positive
+		// literal is not already satisfied by another literal. (The
+		// model satisfies every resolvent, so the other side's clauses
+		// are then satisfied by ¬v's side being covered.)
+		needTrue := false
+		pos := cnf.Pos(e.V)
+		for _, c := range e.Clauses {
+			if !c.Contains(pos) {
+				continue
+			}
+			satisfied := false
+			for _, l := range c {
+				if l == pos {
+					continue
+				}
+				if out.LitValue(l) == cnf.True {
+					satisfied = true
+					break
+				}
+			}
+			if !satisfied {
+				needTrue = true
+				break
+			}
+		}
+		if needTrue {
+			out.Set(e.V, cnf.True)
+		} else {
+			out.Set(e.V, cnf.False)
 		}
 	}
 	return out

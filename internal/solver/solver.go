@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -78,12 +79,21 @@ type Stats struct {
 	// Mean and StdErr describe the final S_N statistic (NBL engines).
 	Mean   float64
 	StdErr float64
+	// NMBefore and NMAfter record the n·m product before and after
+	// preprocessing, and Components the number of variable-disjoint
+	// subformulas solved independently (pipeline meta-engines). Zero
+	// everywhere else.
+	NMBefore   int64
+	NMAfter    int64
+	Components int64
 }
 
 // Add accumulates other into s field-wise (used by the portfolio to
 // report combined effort). Mean and StdErr are deliberately left alone:
 // they are statistics, not counters, and summing them across engines
 // would be meaningless — the caller decides whose statistic survives.
+// NMBefore/NMAfter/Components likewise describe one preprocessing run,
+// not an accumulable effort, and stay with whoever set them.
 func (s *Stats) Add(other Stats) {
 	s.Samples += other.Samples
 	s.Decisions += other.Decisions
@@ -262,9 +272,20 @@ func ErrNoModelRecovery(engine string) error {
 // known yet at construction time).
 type Factory func(cfg Config) Solver
 
+// MetaFactory builds a meta-engine from a parenthesized engine
+// expression: a name of the form "meta(inner)" resolves the registered
+// MetaFactory for "meta" with the inner expression verbatim. The inner
+// expression is itself a registry name — possibly another meta
+// expression — so wrappers compose: "pre(mc)", "pre(portfolio)",
+// "pre(pre(cdcl))" all parse. Construction may fail (unlike Factory):
+// the inner name is only known at parse time and an unknown inner
+// engine must surface immediately, not at Solve.
+type MetaFactory func(inner string, cfg Config) (Solver, error)
+
 var (
 	regMu    sync.RWMutex
 	registry = map[string]Factory{}
+	metas    = map[string]MetaFactory{}
 )
 
 // Register installs an engine factory under a name. It panics on a
@@ -276,10 +297,33 @@ func Register(name string, f Factory) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("solver: Register called twice for %q", name))
 	}
+	if _, dup := metas[name]; dup {
+		panic(fmt.Sprintf("solver: Register %q collides with a registered meta-engine", name))
+	}
 	if f == nil {
 		panic(fmt.Sprintf("solver: Register %q with nil factory", name))
 	}
 	registry[name] = f
+}
+
+// RegisterMeta installs a meta-engine factory under a name, reachable
+// as "name(inner)" through New/NewWith. Like Register it panics on a
+// duplicate or nil registration; the two namespaces are shared (a meta
+// may not collide with a plain engine name, or "name(x)" would be
+// ambiguous with a formula-level reading of "name").
+func RegisterMeta(name string, f MetaFactory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := metas[name]; dup {
+		panic(fmt.Sprintf("solver: RegisterMeta called twice for %q", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solver: RegisterMeta %q collides with a registered engine", name))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("solver: RegisterMeta %q with nil factory", name))
+	}
+	metas[name] = f
 }
 
 // Engines returns the sorted names of all registered engines.
@@ -288,6 +332,19 @@ func Engines() []string {
 	defer regMu.RUnlock()
 	names := make([]string, 0, len(registry))
 	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Metas returns the sorted names of all registered meta-engines; each
+// is used as "name(inner)" where inner is any engine expression.
+func Metas() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(metas))
+	for name := range metas {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -307,15 +364,41 @@ func New(name string, opts ...Option) (Solver, error) {
 }
 
 // NewWith is New with an explicit Config — the portfolio uses it to
-// propagate one shared Config to every member.
+// propagate one shared Config to every member. Besides plain registry
+// names it accepts meta-engine expressions of the form "meta(inner)"
+// (e.g. "pre(mc)"): the meta factory registered for "meta" wraps the
+// engine built from the inner expression.
 func NewWith(name string, cfg Config) (Solver, error) {
 	regMu.RLock()
 	factory, ok := registry[name]
 	regMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("solver: unknown engine %q (registered: %v)", name, Engines())
+	if ok {
+		return &named{name: name, impl: factory(cfg.withDefaults())}, nil
 	}
-	return &named{name: name, impl: factory(cfg.withDefaults())}, nil
+	if meta, inner, ok := splitMeta(name); ok {
+		regMu.RLock()
+		mf, found := metas[meta]
+		regMu.RUnlock()
+		if found {
+			impl, err := mf(inner, cfg.withDefaults())
+			if err != nil {
+				return nil, err
+			}
+			return &named{name: name, impl: impl}, nil
+		}
+	}
+	return nil, fmt.Errorf("solver: unknown engine %q (registered: %v, meta: %v)",
+		name, Engines(), Metas())
+}
+
+// splitMeta parses "meta(inner)" into its parts. The inner expression
+// runs to the final ')', so nested expressions stay intact.
+func splitMeta(name string) (meta, inner string, ok bool) {
+	open := strings.Index(name, "(")
+	if open <= 0 || !strings.HasSuffix(name, ")") {
+		return "", "", false
+	}
+	return name[:open], name[open+1 : len(name)-1], true
 }
 
 // named wraps an engine with the bookkeeping common to all of them.

@@ -54,6 +54,7 @@ import (
 	// of them by name.
 	_ "repro/internal/analog"
 	_ "repro/internal/hybrid"
+	_ "repro/internal/pipeline"
 	_ "repro/internal/portfolio"
 	_ "repro/internal/rtw"
 	_ "repro/internal/sbl"
@@ -124,6 +125,10 @@ var (
 
 // New builds a registered engine by name: "mc", "exact", "rtw", "sbl",
 // "analog", "hybrid", "dpll", "cdcl", "walksat", or "portfolio".
+// Meta-engine expressions compose around any of them: "pre(mc)" runs
+// the preprocess-and-decompose pipeline in front of the Monte-Carlo
+// engine (see internal/pipeline), and works anywhere an engine name
+// does — including as a portfolio member.
 func New(name string, opts ...Option) (Solver, error) { return solver.New(name, opts...) }
 
 // NewWith is New with an explicit Config.
@@ -245,6 +250,10 @@ func PlantedKSAT(seed uint64, n, m, k int) (*Formula, Assignment) {
 // holes, the classic provably-UNSAT family that is exponentially hard
 // for resolution-based search (dpll, cdcl).
 func Pigeonhole(holes int) *Formula { return gen.Pigeonhole(holes) }
+
+// DisjointUnion conjoins formulas over disjoint variable ranges — the
+// canonical decomposable workload for the pre(<engine>) pipeline.
+func DisjointUnion(fs ...*Formula) *Formula { return gen.DisjointUnion(fs...) }
 
 // PaperSAT and friends return the exact instances used in the paper.
 func PaperSAT() *Formula { return gen.PaperSAT() }
