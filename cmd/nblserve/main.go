@@ -1,0 +1,119 @@
+// Command nblserve runs the resident NBL-SAT solve service: an
+// HTTP/JSON API over the engine registry with an async job queue, a
+// bounded worker pool with warm per-engine state, a renaming-stable
+// verdict cache, live progress, and Prometheus metrics.
+//
+// Usage:
+//
+//	nblserve [flags]
+//
+//	-addr     listen address (default 127.0.0.1:7797; :0 picks a port)
+//	-workers  solve-pool size (default 2× CPUs, capped at 8)
+//	-queue    backlog bound before submissions get 503 (default 256)
+//	-cache    verdict-cache entries (default 4096; negative disables)
+//	-engine   default engine expression (default pre(portfolio))
+//	-drain    graceful-shutdown grace period (default 30s)
+//
+// API sketch (see internal/service for the full surface):
+//
+//	curl -d @instance.cnf 'localhost:7797/solve?engine=pre(mc)&sync=1'
+//	curl -d @instance.cnf 'localhost:7797/solve?timeout=30s'   # async
+//	curl localhost:7797/jobs/j1?wait=5s                        # long-poll
+//	curl localhost:7797/jobs/j1/events                         # SSE progress
+//	curl -X DELETE localhost:7797/jobs/j1                      # cancel
+//	curl localhost:7797/metrics                                # Prometheus
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
+// running jobs drain within -drain, stragglers are cancelled (engines
+// honor context cancellation in their hot loops), and the process exits
+// 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+
+	// Link every engine into the registry.
+	_ "repro"
+)
+
+func main() {
+	defWorkers := 2 * runtime.NumCPU()
+	if defWorkers > 8 {
+		defWorkers = 8
+	}
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7797", "listen address (host:port; :0 picks a free port)")
+		workers = flag.Int("workers", defWorkers, "solve-pool size (bounds concurrent engine work)")
+		queue   = flag.Int("queue", 256, "job queue depth before submissions are rejected with 503")
+		cache   = flag.Int("cache", 4096, "verdict cache entries (negative disables caching)")
+		engine  = flag.String("engine", "pre(portfolio)", "default engine expression for submissions that name none")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight jobs")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cache, *engine, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "nblserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache int, engine string, drain time.Duration) error {
+	srv := service.NewServer(service.Config{
+		Workers:       workers,
+		QueueDepth:    queue,
+		CacheEntries:  cache,
+		DefaultEngine: engine,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The machine-readable line tools (and the e2e test) key on: the
+	// resolved address, after :0 expansion.
+	fmt.Printf("nblserve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case got := <-sig:
+		fmt.Printf("nblserve: %v — draining (grace %v)\n", got, drain)
+	case err := <-errCh:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Stop the HTTP listener first (no new submissions), then drain the
+	// pool. A second signal aborts the drain immediately.
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Printf("nblserve: drain incomplete (%v); in-flight jobs cancelled\n", err)
+	} else {
+		fmt.Println("nblserve: drained cleanly")
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package cnf
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Canonical is the renaming-stable normal form of a formula, produced by
+// Canonicalize. Two formulas that differ only by a variable renaming, by
+// duplicate literals or duplicate clauses, or by literal order inside
+// clauses canonicalize to the same Canonical value, so its Fingerprint
+// is a sound deduplication key: equal fingerprints imply the originals
+// are renamings of one clause set and therefore equisatisfiable (clause
+// *order* is deliberately not normalized away — that is graph
+// canonicalization, not worth its cost for a cache key).
+//
+// The canonical variable space contains only variables that occur in at
+// least one clause, renumbered 1..NumVars by occurrence signature (see
+// Canonicalize). Models translate between the original and canonical
+// spaces through ToCanonical/FromCanonical; original variables with no
+// occurrences are unconstrained and stay unassigned on the way back,
+// which still satisfies every clause.
+type Canonical struct {
+	// F is the canonical formula: variables renamed, literals sorted
+	// within clauses, duplicate literals dropped, clauses sorted with
+	// duplicates removed.
+	F *Formula
+	// fromOrig maps an original variable to its canonical name (0 for
+	// variables with no occurrence); toOrig is the inverse.
+	fromOrig []Var
+	toOrig   []Var
+	// fp is the digest, computed once at Canonicalize (callers like the
+	// service fingerprint the same Canonical at both lookup and store).
+	fp string
+}
+
+// Canonicalize computes the renaming-stable normal form of f.
+//
+// The renaming is fixed by a name-independent invariant: each occurring
+// variable's signature is the sorted set of (clause index, polarity)
+// pairs of its occurrences, taken after duplicate literals and duplicate
+// clauses are removed (both removals are themselves name-independent).
+// Variables are numbered in signature order. Renaming f permutes no
+// signature, so a renamed twin lands on the same canonical names; when
+// two variables share a signature they occur in exactly the same clauses
+// with the same polarities, which makes swapping them an automorphism of
+// the clause set — the tie-break (first occurrence) cannot change the
+// canonical formula, only which original name maps where.
+func Canonicalize(f *Formula) *Canonical {
+	// Drop duplicate literals per clause and then duplicate clauses
+	// (identical literal sets; set identity is renaming-invariant even
+	// though the comparison keys below are not).
+	seenClause := make(map[string]bool, len(f.Clauses))
+	clauses := make([]Clause, 0, len(f.Clauses))
+	var keyBuf []byte
+	for _, cl := range f.Clauses {
+		d := cl.Dedup()
+		sorted := d.Clone()
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		keyBuf = keyBuf[:0]
+		for _, l := range sorted {
+			keyBuf = binary.LittleEndian.AppendUint32(keyBuf, uint32(l))
+		}
+		if seenClause[string(keyBuf)] {
+			continue
+		}
+		seenClause[string(keyBuf)] = true
+		clauses = append(clauses, d)
+	}
+
+	// Occurrence signatures: per variable, the sorted (clause, polarity)
+	// pairs packed as ints. firstSeen breaks signature ties
+	// deterministically.
+	sigs := make([][]uint64, f.NumVars+1)
+	firstSeen := make([]int, f.NumVars+1)
+	order := make([]Var, 0, f.NumVars)
+	pos := 0
+	for j, cl := range clauses {
+		for _, l := range cl {
+			v := l.Var()
+			if sigs[v] == nil {
+				firstSeen[v] = pos
+				order = append(order, v)
+			}
+			p := uint64(j) << 1
+			if l.IsNeg() {
+				p |= 1
+			}
+			sigs[v] = append(sigs[v], p)
+			pos++
+		}
+	}
+	// Occurrences were collected in clause order with polarities
+	// interleaved; sort each signature so it is a set.
+	for _, v := range order {
+		s := sigs[v]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := sigs[order[i]], sigs[order[j]]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return firstSeen[order[i]] < firstSeen[order[j]]
+	})
+
+	c := &Canonical{fromOrig: make([]Var, f.NumVars+1)}
+	c.toOrig = append(c.toOrig, 0) // canonical variables are 1-based
+	for i, v := range order {
+		c.fromOrig[v] = Var(i + 1)
+		c.toOrig = append(c.toOrig, v)
+	}
+
+	// Rewrite clauses into the canonical names, sort literals, sort
+	// clauses.
+	out := make([]Clause, len(clauses))
+	for i, cl := range clauses {
+		oc := make(Clause, len(cl))
+		for k, l := range cl {
+			oc[k] = NewLit(c.fromOrig[l.Var()], l.IsNeg())
+		}
+		sort.Slice(oc, func(a, b int) bool { return oc[a] < oc[b] })
+		out[i] = oc
+	}
+	sort.Slice(out, func(i, j int) bool { return lessClause(out[i], out[j]) })
+	c.F = &Formula{NumVars: len(order), Clauses: out}
+	c.fp = fingerprint(c.F)
+	return c
+}
+
+func lessClause(a, b Clause) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Fingerprint returns a collision-resistant key for the canonical
+// clause set: the hex SHA-256 of its packed-literal encoding, computed
+// once at Canonicalize. The declared variable count is deliberately
+// excluded — variables with no occurrences cannot affect
+// satisfiability.
+func (c *Canonical) Fingerprint() string { return c.fp }
+
+func fingerprint(f *Formula) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, cl := range f.Clauses {
+		for _, l := range cl {
+			binary.LittleEndian.PutUint32(buf[:], uint32(l))
+			h.Write(buf[:])
+		}
+		binary.LittleEndian.PutUint32(buf[:], 0) // clause terminator; 0 is no literal
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ToCanonical translates an assignment over the original variables into
+// the canonical variable space (values of non-occurring variables are
+// dropped).
+func (c *Canonical) ToCanonical(a Assignment) Assignment {
+	if a == nil {
+		return nil
+	}
+	out := NewAssignment(c.F.NumVars)
+	for v := Var(1); int(v) < len(c.fromOrig); v++ {
+		if cv := c.fromOrig[v]; cv != 0 {
+			out[cv] = a.Get(v)
+		}
+	}
+	return out
+}
+
+// FromCanonical translates an assignment over the canonical variables
+// back to the original variable space. Original variables with no
+// occurrences stay Unassigned: no clause mentions them, so any
+// completion satisfies the same clauses.
+func (c *Canonical) FromCanonical(a Assignment) Assignment {
+	if a == nil {
+		return nil
+	}
+	out := NewAssignment(len(c.fromOrig) - 1)
+	for cv := Var(1); int(cv) < len(c.toOrig); cv++ {
+		out[c.toOrig[cv]] = a.Get(cv)
+	}
+	return out
+}

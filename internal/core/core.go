@@ -59,6 +59,14 @@ type Options struct {
 	// (SampleSource's FillBlock contract), so Block never changes
 	// results — only throughput.
 	Block int
+	// Progress, when non-nil, observes the running statistic after every
+	// merged convergence round (cadence CheckEvery samples): total
+	// samples so far, the running mean, and its standard error. It is
+	// called from the coordinating goroutine only — never from the
+	// sampling workers — so implementations need no synchronization
+	// against the engine, and it must return quickly (it sits on the
+	// sampling path). Progress never changes results.
+	Progress func(samples int64, mean, stderr float64)
 }
 
 // withDefaults fills zero fields with defaults.
@@ -78,7 +86,7 @@ func (o Options) withDefaults() Options {
 	if o.Theta == 0 {
 		o.Theta = 4
 	}
-	if o.Workers == 0 {
+	if o.Workers <= 0 {
 		o.Workers = 1
 	}
 	return o
@@ -138,6 +146,42 @@ func NewEngine(f *cnf.Formula, opts Options) (*Engine, error) {
 
 // Formula returns the engine's formula.
 func (e *Engine) Formula() *cnf.Formula { return e.f }
+
+// Reset re-targets the engine at a new formula, restoring the
+// fresh-engine state (checkSeq restarts at zero, so a Reset engine is
+// result-identical to NewEngine with the same Options). When the new
+// formula has the same (n, m) geometry as the old one, every worker's
+// noise bank, evaluator, and block buffer are kept — the warm path a
+// long-running solve service relies on to amortize the 2·n·m-generator
+// bank across requests; a geometry change drops the workers and they
+// rebuild lazily on the next check.
+func (e *Engine) Reset(f *cnf.Formula) error {
+	if f.NumVars < 1 {
+		return ErrNoVariables
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if f.NumVars == e.f.NumVars && f.NumClauses() == e.f.NumClauses() {
+		for i := range e.workers {
+			if e.workers[i].ev != nil {
+				e.workers[i].ev.Reset(f)
+			}
+		}
+	} else {
+		e.workers = nil
+	}
+	e.f = f
+	e.checkSeq = 0
+	return nil
+}
+
+// SetProgress installs (or clears) the per-round progress observer; see
+// Options.Progress. It exists so a warm engine reused across requests
+// can carry each request's own observer.
+func (e *Engine) SetProgress(fn func(samples int64, mean, stderr float64)) {
+	e.opts.Progress = fn
+}
 
 // Options returns the engine's effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opts }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
 	"repro/internal/cnf"
 	"repro/internal/noise"
@@ -18,7 +19,7 @@ import (
 
 func init() {
 	solver.Register("mc", func(cfg solver.Config) solver.Solver {
-		return mcSolver{cfg}
+		return &mcSolver{cfg: cfg}
 	})
 	solver.Register("exact", func(cfg solver.Config) solver.Solver {
 		return exactSolver{cfg}
@@ -77,22 +78,52 @@ func ParseFamily(name string) (noise.Family, error) {
 	}
 }
 
-type mcSolver struct{ cfg solver.Config }
+// mcSolver adapts the Monte-Carlo engine to the registry. It is warm:
+// the constructed core.Engine persists across Solve calls, and when
+// consecutive formulas share an (n, m) geometry the per-worker noise
+// banks, evaluators, and block buffers are reused through Engine.Reset
+// instead of being rebuilt — the amortization a long-running solve
+// service depends on. Reset restores fresh-engine state (checkSeq zero),
+// so a warm Solve is result-identical to a cold one. The mutex makes a
+// shared instance safe (calls serialize); anything that wants
+// parallelism constructs one instance per goroutine, as the portfolio
+// already does.
+type mcSolver struct {
+	cfg solver.Config
+	mu  sync.Mutex
+	eng *Engine
+}
 
-func (s mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fam, err := ParseFamily(s.cfg.Family)
 	if err != nil {
 		return solver.Result{}, err
 	}
-	eng, err := NewEngine(f, Options{
-		Family:     fam,
-		Seed:       s.cfg.Seed,
-		MaxSamples: s.cfg.MaxSamples,
-		Theta:      s.cfg.Theta,
-		Workers:    s.cfg.Workers,
-	})
-	if err != nil {
-		return solver.Result{}, err
+	eng := s.eng
+	if eng != nil {
+		if err := eng.Reset(f); err != nil {
+			return solver.Result{}, err
+		}
+	} else {
+		eng, err = NewEngine(f, Options{
+			Family:     fam,
+			Seed:       s.cfg.Seed,
+			MaxSamples: s.cfg.MaxSamples,
+			Theta:      s.cfg.Theta,
+			Workers:    s.cfg.Workers,
+		})
+		if err != nil {
+			return solver.Result{}, err
+		}
+		s.eng = eng
+	}
+	if fn := solver.ProgressFromContext(ctx); fn != nil {
+		eng.SetProgress(func(samples int64, mean, stderr float64) {
+			fn(solver.Stats{Samples: samples, Mean: mean, StdErr: stderr})
+		})
+		defer eng.SetProgress(nil)
 	}
 
 	if s.cfg.FindModel {

@@ -135,6 +135,10 @@ func (e *Engine) sample(ctx context.Context, bound cnf.Assignment, seq uint64) (
 		if err = ctx.Err(); err != nil {
 			return total.Mean(), total.StdErr(), total.Count(), false, err
 		}
+		if fn := e.opts.Progress; fn != nil {
+			// Round boundary: workers are parked, total is consistent.
+			fn(total.Count(), total.Mean(), total.StdErr())
+		}
 		if total.Count() >= e.opts.MinSamples && conv.Check(total.Mean()) {
 			converged = true
 			break

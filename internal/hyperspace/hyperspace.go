@@ -111,6 +111,29 @@ func New(f *cnf.Formula, bank SampleSource) *Evaluator {
 	}
 }
 
+// Reset re-targets the evaluator at a new formula with the same (n, m)
+// geometry, keeping every allocation: the sample matrices, product and
+// prefix/suffix scratch, and the block working set are all sized by
+// (n, m, k) only, so a formula swap costs nothing but clearing the
+// bindings. This is the warm-path primitive of long-running services —
+// a worker that has solved one uf20-91 instance re-serves the next one
+// without rebuilding its 2·n·m-generator bank or any scratch. It panics
+// on a geometry mismatch (callers check dims first) or an invalid
+// formula, mirroring New.
+func (e *Evaluator) Reset(f *cnf.Formula) {
+	if f.NumVars != e.n || f.NumClauses() != e.m {
+		panic(fmt.Sprintf("hyperspace: Reset formula dims (%d,%d) do not match evaluator (%d,%d)",
+			f.NumVars, f.NumClauses(), e.n, e.m))
+	}
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	e.f = f
+	for v := range e.bound {
+		e.bound[v] = cnf.Unassigned
+	}
+}
+
 // Bind constrains variable v to val in tau_N. Binding to Unassigned
 // removes the constraint. This mirrors Algorithm 2's construction of the
 // reduced hyperspace tau^red_N; Sigma_N is never modified.

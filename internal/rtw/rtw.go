@@ -28,6 +28,10 @@ type Engine struct {
 	bank *noise.Bank
 	n, m int
 
+	// wide selects the arbitrary-precision kernel: the instance's
+	// worst-case |S_N| exceeds int64 (see New and wide.go).
+	wide bool
+
 	bound cnf.Assignment
 
 	// block is the CheckCtx batch size, chosen cache-aware from the
@@ -42,6 +46,8 @@ type Engine struct {
 	pre, suf   []int64
 
 	blk rtwBlock // StepBlock scratch, sized lazily to the largest block
+
+	wsc wideScratch // wide-kernel scratch and exact moment accumulators
 }
 
 // rtwBlock is the integer block-kernel working set: k samples per
@@ -57,9 +63,12 @@ type rtwBlock struct {
 	out          []float64 // float view of a block for the Welford path
 }
 
-// New builds an RTW engine. It returns an error if the formula's
-// dimensions could overflow int64 in the worst case: |S_N| is bounded by
-// 2^n · prod_j(k_j · 2^(n-1)) and must stay below 2^62.
+// New builds an RTW engine. Instances whose worst-case |S_N| bound
+// (2^n · prod_j(k_j · 2^(n-1))) fits in an int64 get the exact integer
+// block kernel; anything larger — uf20-91 needs ~1900 bits — falls back
+// to the equally exact wide kernel (see wide.go), which factors every
+// sample as sign·(small product)·2^shift and only touches big.Int for
+// the final assembly and the moment accumulators.
 func New(f *cnf.Formula, seed uint64) (*Engine, error) {
 	n, m := f.NumVars, f.NumClauses()
 	if n < 1 || m < 1 {
@@ -75,12 +84,10 @@ func New(f *cnf.Formula, seed uint64) (*Engine, error) {
 		}
 		bitsNeeded += bits.Len(uint(len(c))) + n - 1 // |Z_j| <= k_j·2^(n-1)
 	}
-	if bitsNeeded > 62 {
-		return nil, fmt.Errorf("rtw: instance needs ~%d bits, exceeds int64", bitsNeeded)
-	}
 	nm := n * m
 	return &Engine{
 		f: f, bank: noise.NewBank(noise.RTW, seed, n, m), n: n, m: m,
+		wide:  bitsNeeded > 62,
 		bound: cnf.NewAssignment(n),
 		// 32 bytes per source cell: the block kernel keeps float64 fill
 		// buffers and their int64 conversions for both polarities.
@@ -91,6 +98,11 @@ func New(f *cnf.Formula, seed uint64) (*Engine, error) {
 		pre: make([]int64, n+1), suf: make([]int64, n+1),
 	}, nil
 }
+
+// Wide reports whether the engine runs the arbitrary-precision kernel
+// (the int64 worst-case bound does not fit). Step/StepBlock are only
+// valid on non-wide engines; Check/CheckCtx/Assign work on both.
+func (e *Engine) Wide() bool { return e.wide }
 
 // Bind constrains a variable in tau_N, as in Algorithm 2.
 func (e *Engine) Bind(v cnf.Var, val cnf.Value) { e.bound[v] = val }
@@ -103,7 +115,12 @@ func (e *Engine) BindAll(a cnf.Assignment) {
 }
 
 // Step draws one RTW sample vector and returns the exact integer S_N(t).
+// It is only valid on non-wide engines (New guarantees the bound); wide
+// geometries must go through CheckCtx, whose kernel has no overflow.
 func (e *Engine) Step() int64 {
+	if e.wide {
+		panic("rtw: Step would overflow int64 on this geometry; use CheckCtx (wide kernel)")
+	}
 	e.bank.Fill(e.posF, e.negF)
 	for k := range e.posF {
 		e.pos[k] = int64(e.posF[k])
@@ -164,6 +181,9 @@ func (e *Engine) Step() int64 {
 // the bank dispatch, binding switch, and scratch setup are amortized
 // over the block.
 func (e *Engine) StepBlock(out []int64) {
+	if e.wide {
+		panic("rtw: StepBlock would overflow int64 on this geometry; use CheckCtx (wide kernel)")
+	}
 	k := len(out)
 	if k == 0 {
 		return
@@ -319,8 +339,12 @@ func (e *Engine) Check(samples int64, theta float64) Result {
 // kernel, polls ctx at every block boundary, and returns the partial
 // Result with ctx.Err() when the context ends. The per-source streams
 // are identical for any block size, so the batch size never changes
-// the verdict.
+// the verdict. Wide geometries (int64 bound exceeded) take the
+// arbitrary-precision kernel instead, same contract.
 func (e *Engine) CheckCtx(ctx context.Context, samples int64, theta float64) (Result, error) {
+	if e.wide {
+		return e.checkWide(ctx, samples, theta)
+	}
 	var w stats.Welford
 	ints := make([]int64, e.block)
 	b := e.ensureBlock(e.block)

@@ -110,13 +110,17 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(f, 1); err == nil {
 		t.Error("empty clause accepted")
 	}
-	// Overflow guard: a formula with huge n·m must be rejected.
+	// Overflow guard: a formula with huge n·m no longer fails — it
+	// selects the exact wide kernel instead of the int64 one.
 	big := cnf.New(64)
 	for j := 0; j < 64; j++ {
 		big.Add(j%64+1, -(((j + 1) % 64) + 1))
 	}
-	if _, err := New(big, 1); err == nil {
-		t.Error("overflow-prone instance accepted")
+	e, err := New(big, 1)
+	if err != nil {
+		t.Errorf("overflow-prone instance must take the wide fallback, got %v", err)
+	} else if !e.Wide() {
+		t.Error("overflow-prone instance should be on the wide kernel")
 	}
 }
 

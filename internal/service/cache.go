@@ -1,0 +1,120 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// verdictCache is the service's LRU verdict cache. Keys are
+// (engine expression, solver config, canonical formula fingerprint):
+// the fingerprint deduplicates renamed/reordered-literal resubmissions
+// of one clause set (see cnf.Canonicalize), while the engine and
+// config keep every entry a faithful replay of a solve the requester's
+// own parameters would have run — hit responses return the first
+// solve's Result verbatim, stats and wall time included.
+//
+// Correctness argument: only definitive verdicts are stored. SAT and
+// UNSAT are properties of the clause set, invariant under the variable
+// renaming the fingerprint mods out, so replaying them for an
+// equivalent formula is sound (models are carried in canonical variable
+// space and translated through each requester's own renaming). The
+// config belongs in the key because the statistical engines'
+// "definitive" is confidence-parameterized: a SAT decided at theta=0.1
+// with a 1k budget is a far weaker claim than one at theta=10 with
+// 4M samples, and replaying the former to the latter would launder a
+// client's lax confidence choice into everyone else's answers (it also
+// keeps model-recovering and model-less entries distinct).
+// UNKNOWN is different in kind: it is a statement about one run — a
+// budget ran out, a context was cancelled, an SNR gate refused to
+// certify — not about the formula. A later submission with a higher
+// budget, a different engine, or plain different luck can legitimately
+// decide the instance, so caching UNKNOWN would turn a transient
+// shortfall into a sticky wrong answer. Store never admits it.
+type verdictCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	res   solver.Result  // Assignment stripped; replayed verbatim otherwise
+	model cnf.Assignment // canonical-space model, nil when the solve produced none
+}
+
+// newVerdictCache returns a cache holding up to capacity entries;
+// capacity <= 0 disables caching (every lookup misses, stores drop).
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func cacheKey(engine, cfg, fingerprint string) string {
+	return engine + "\x00" + cfg + "\x00" + fingerprint
+}
+
+// enabled reports whether the cache stores anything at all.
+func (c *verdictCache) enabled() bool { return c.cap > 0 }
+
+// get returns the cached Result for (engine, config, canonical
+// formula), with the stored model translated into the requester's
+// variable space.
+func (c *verdictCache) get(engine, cfg string, canon *cnf.Canonical) (solver.Result, bool) {
+	if !c.enabled() {
+		return solver.Result{}, false
+	}
+	key := cacheKey(engine, cfg, canon.Fingerprint())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.entries[key]; found {
+		e := el.Value.(*cacheEntry)
+		c.hits++
+		c.order.MoveToFront(el)
+		res := e.res
+		res.Assignment = canon.FromCanonical(e.model)
+		return res, true
+	}
+	c.misses++
+	return solver.Result{}, false
+}
+
+// put stores a definitive result. UNKNOWN (or an errored solve — the
+// caller never offers one) is rejected: see the type comment.
+func (c *verdictCache) put(engine, cfg string, canon *cnf.Canonical, res solver.Result) {
+	if c.cap <= 0 || !res.Status.Definitive() {
+		return
+	}
+	key := cacheKey(engine, cfg, canon.Fingerprint())
+	e := &cacheEntry{key: key, res: res, model: canon.ToCanonical(res.Assignment)}
+	e.res.Assignment = nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	c.entries[key] = c.order.PushFront(e)
+	for len(c.entries) > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats returns (hits, misses, evictions, live entries).
+func (c *verdictCache) stats() (hits, misses, evictions, entries int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, int64(len(c.entries))
+}

@@ -1,0 +1,363 @@
+// HTTP surface of the solve service. Endpoints:
+//
+//	POST   /solve          DIMACS body -> job (async by default; ?sync=1 waits)
+//	GET    /jobs           list job snapshots
+//	GET    /jobs/{id}      one snapshot; ?wait=2s long-polls for completion
+//	GET    /jobs/{id}/events  SSE stream of progress snapshots until terminal
+//	DELETE /jobs/{id}      cancel (queued or running)
+//	GET    /metrics        Prometheus text exposition
+//	GET    /healthz        liveness + basic gauges
+//
+// POST /solve query parameters: engine (registry expression, e.g.
+// pre(mc)), seed, samples, theta, workers, family, alloc, flips,
+// restarts, noise, candidates, members (comma lineup), model=1 (model
+// recovery), timeout (Go duration), sync=1.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dimacs"
+	"repro/internal/solver"
+)
+
+// maxBodyBytes bounds a DIMACS submission (16 MiB holds every SATLIB
+// archive instance with orders of magnitude to spare).
+const maxBodyBytes = 16 << 20
+
+// maxSolveWorkers caps the per-job sampling parallelism a client may
+// request; the pool already bounds concurrent jobs, this bounds the
+// goroutines inside one.
+const maxSolveWorkers = 64
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// jobJSON is the wire form of a job snapshot.
+type jobJSON struct {
+	ID        string         `json:"id"`
+	Engine    string         `json:"engine"`
+	State     State          `json:"state"`
+	Submitted time.Time      `json:"submitted"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	CacheHit  bool           `json:"cache_hit,omitempty"`
+	Progress  *solver.Stats  `json:"progress,omitempty"`
+	Result    *solver.Result `json:"result,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+func snapshotJSON(snap Snapshot) jobJSON {
+	out := jobJSON{
+		ID:        snap.ID,
+		Engine:    snap.Engine,
+		State:     snap.State,
+		Submitted: snap.Submitted,
+		CacheHit:  snap.CacheHit,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		out.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		out.Finished = &t
+	}
+	if snap.State == StateRunning && snap.Progress != (solver.Stats{}) {
+		p := snap.Progress
+		out.Progress = &p
+	}
+	if snap.State.Terminal() {
+		r := snap.Result
+		out.Result = &r
+	}
+	if snap.Err != nil {
+		out.Error = snap.Err.Error()
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := SubmitOptions{Engine: q.Get("engine")}
+
+	// Numeric knobs are client-controlled; negatives are rejected here
+	// rather than trusted to engine defaulting (a negative worker count
+	// would reach make() inside the Monte-Carlo sampler), and the
+	// sampling parallelism is capped so one request cannot claim
+	// unbounded goroutines.
+	var parseErr error
+	getInt := func(name string) int64 {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if (err != nil || n < 0) && parseErr == nil {
+			parseErr = fmt.Errorf("bad %s %q", name, v)
+		}
+		return n
+	}
+	getFloat := func(name string) float64 {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		// Reject NaN/Inf explicitly: ParseFloat accepts them, NaN slips
+		// any sign test, and a NaN theta would turn the SAT comparison
+		// permanently false — a wrong definitive UNSAT.
+		if (err != nil || f < 0 || math.IsNaN(f) || math.IsInf(f, 0)) && parseErr == nil {
+			parseErr = fmt.Errorf("bad %s %q", name, v)
+		}
+		return f
+	}
+
+	getSeed := func() uint64 {
+		v := q.Get("seed")
+		if v == "" {
+			return 0
+		}
+		// Seeds span the full uint64 range; ParseInt would reject the
+		// upper half.
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil && parseErr == nil {
+			parseErr = fmt.Errorf("bad seed %q", v)
+		}
+		return n
+	}
+
+	opts.Solver = solver.Config{
+		Seed:       getSeed(),
+		MaxSamples: getInt("samples"),
+		Theta:      getFloat("theta"),
+		Workers:    int(getInt("workers")),
+		Family:     q.Get("family"),
+		Allocation: q.Get("alloc"),
+		MaxFlips:   int(getInt("flips")),
+		Restarts:   int(getInt("restarts")),
+		NoiseP:     getFloat("noise"),
+		Candidates: int(getInt("candidates")),
+		FindModel:  boolParam(q.Get("model")),
+	}
+	if members := q.Get("members"); members != "" {
+		for _, m := range strings.Split(members, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				opts.Solver.Members = append(opts.Solver.Members, m)
+			}
+		}
+	}
+	if tv := q.Get("timeout"); tv != "" {
+		d, err := time.ParseDuration(tv)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q", tv))
+			return
+		}
+		opts.Timeout = d
+	}
+	if parseErr != nil {
+		writeError(w, http.StatusBadRequest, parseErr)
+		return
+	}
+	if opts.Solver.Workers > maxSolveWorkers {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("workers %d exceeds the per-job cap %d", opts.Solver.Workers, maxSolveWorkers))
+		return
+	}
+
+	f, err := dimacs.Read(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		// A truncated-by-cap body surfaces as a read error inside the
+		// DIMACS parser; report the cap, not a bogus syntax complaint.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("instance exceeds the %d-byte body limit", maxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	job, err := s.Submit(f, opts)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err == ErrShuttingDown:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if boolParam(q.Get("sync")) {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			// Client went away; the job keeps running for later polls.
+			writeJSON(w, http.StatusAccepted, snapshotJSON(job.Snapshot()))
+			return
+		}
+		writeJSON(w, http.StatusOK, snapshotJSON(job.Snapshot()))
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, snapshotJSON(job.Snapshot()))
+}
+
+func boolParam(v string) bool {
+	switch strings.ToLower(v) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]jobJSON, len(jobs))
+	for i, j := range jobs {
+		out[i] = snapshotJSON(j.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if wv := r.URL.Query().Get("wait"); wv != "" {
+		d, err := time.ParseDuration(wv)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q", wv))
+			return
+		}
+		// Long-poll: return at completion or after the wait window,
+		// whichever comes first (the snapshot tells the caller which).
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-job.Done():
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, snapshotJSON(job.Snapshot()))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	job, err := s.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotJSON(job.Snapshot()))
+}
+
+// handleEvents streams job snapshots as server-sent events: one
+// "progress" event per tick while the job runs (carrying the live
+// Stats the Monte-Carlo sampler publishes at round boundaries), then a
+// final "done" event with the terminal snapshot.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string) bool {
+		data, err := json.Marshal(snapshotJSON(job.Snapshot()))
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	if !send("progress") {
+		return
+	}
+	for {
+		select {
+		case <-job.Done():
+			send("done")
+			return
+		case <-tick.C:
+			if !send("progress") {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.Counts()
+	hits, misses, evictions, entries := s.cache.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, queued, running, hits, misses, evictions, entries)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.Counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"queued":  queued,
+		"running": running,
+		"engines": solver.Engines(),
+		"metas":   solver.Metas(),
+	})
+}

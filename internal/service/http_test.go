@@ -1,0 +1,277 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/solver"
+
+	// Link the full engine registry in: the HTTP tests drive real
+	// engines (pre(mc), cdcl) end to end.
+	_ "repro"
+)
+
+// paperSATDIMACS is S_SAT from Section IV in SATLIB trailer dialect —
+// the same bytes CI posts in the smoke job.
+const paperSATDIMACS = `c paper S_SAT
+p cnf 2 4
+1 2 0
+1 -2 0
+-1 2 0
+1 2 0
+%
+0
+`
+
+const paperUNSATDIMACS = `c paper S_UNSAT
+p cnf 2 4
+1 2 0
+1 -2 0
+-1 2 0
+-1 -2 0
+`
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, query, body string) (int, jobJSON) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/solve?"+query, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out jobJSON
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode < 400 {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("bad job JSON (%d): %v\n%s", resp.StatusCode, err, data)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPSyncSolveSATAndUNSAT(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 2})
+	code, job := postSolve(t, ts, "engine=pre(mc)&sync=1&samples=400000", paperSATDIMACS)
+	if code != http.StatusOK {
+		t.Fatalf("sync solve: HTTP %d", code)
+	}
+	if job.State != StateDone || job.Result == nil || job.Result.Status != solver.StatusSat {
+		t.Fatalf("paper SAT via pre(mc): %+v", job)
+	}
+
+	code, job = postSolve(t, ts, "engine=pre(mc)&sync=1&samples=400000", paperUNSATDIMACS)
+	if code != http.StatusOK || job.Result == nil || job.Result.Status != solver.StatusUnsat {
+		t.Fatalf("paper UNSAT via pre(mc): HTTP %d %+v", code, job)
+	}
+}
+
+func TestHTTPAsyncLifecycleWithLongPoll(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1})
+	code, job := postSolve(t, ts, "engine=cdcl&model=1", paperSATDIMACS)
+	if code != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("async submit: HTTP %d %+v", code, job)
+	}
+
+	// Long-poll until terminal.
+	resp, err := http.Get(ts.URL + "/jobs/" + job.ID + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Result == nil || got.Result.Status != solver.StatusSat {
+		t.Fatalf("long-polled job: %+v", got)
+	}
+	if got.Result.Assignment == nil {
+		t.Fatal("model=1 solve should carry a model")
+	}
+
+	// The job listing contains it.
+	resp2, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var list []jobJSON
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != job.ID {
+		t.Fatalf("job listing: %+v", list)
+	}
+}
+
+func TestHTTPCancelRunningJob(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1, CacheEntries: -1, DefaultEngine: "svc-gate"})
+	seed := uint64(3000)
+	g := newGate(seed)
+	code, job := postSolve(t, ts, fmt.Sprintf("seed=%d", seed), paperSATDIMACS)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	<-g.started
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cancel is asynchronous from the engine's point of view; poll
+	// until terminal.
+	deadline := time.Now().Add(5 * time.Second)
+	for got.State != StateCancelled {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never cancelled: %+v", got)
+		}
+		r2, err := http.Get(ts.URL + "/jobs/" + job.ID + "?wait=1s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(r2.Body).Decode(&got)
+		r2.Body.Close()
+	}
+}
+
+func TestHTTPEventsStreamProgressAndDone(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1, CacheEntries: -1, DefaultEngine: "svc-gate"})
+	seed := uint64(3100)
+	g := newGate(seed)
+	_, job := postSolve(t, ts, fmt.Sprintf("seed=%d", seed), paperSATDIMACS)
+	<-g.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/jobs/"+job.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	var events []string
+	released := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+			if !released {
+				close(g.release)
+				released = true
+			}
+		}
+		if len(events) > 0 && events[len(events)-1] == "done" {
+			break
+		}
+	}
+	if len(events) == 0 || events[0] != "progress" {
+		t.Fatalf("expected a leading progress event, got %v", events)
+	}
+	if events[len(events)-1] != "done" {
+		t.Fatalf("expected terminal done event, got %v", events)
+	}
+}
+
+func TestHTTPMetricsAndHealthz(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1})
+	// One real solve and one cache hit so every counter family is live.
+	postSolve(t, ts, "engine=pre(mc)&sync=1&samples=400000", paperSATDIMACS)
+	postSolve(t, ts, "engine=pre(mc)&sync=1&samples=400000", paperSATDIMACS)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`nblserve_jobs_total{state="done"} 2`,
+		"nblserve_cache_hits_total 1",
+		"nblserve_cache_misses_total 1",
+		"nblserve_cache_entries 1",
+		"nblserve_jobs_running 0",
+		"nblserve_samples_total",
+		"nblserve_samples_per_second",
+		`nblserve_solve_duration_seconds_bucket{engine="pre(mc)",le="+Inf"} 1`,
+		`nblserve_solve_duration_seconds_count{engine="pre(mc)"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var hz map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["status"] != "ok" {
+		t.Fatalf("healthz: %v", hz)
+	}
+}
+
+func TestHTTPRejections(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1})
+	if code, _ := postSolve(t, ts, "engine=no-such-engine", paperSATDIMACS); code != http.StatusBadRequest {
+		t.Errorf("unknown engine: HTTP %d", code)
+	}
+	if code, _ := postSolve(t, ts, "engine=mc", "this is not dimacs"); code != http.StatusBadRequest {
+		t.Errorf("bad body: HTTP %d", code)
+	}
+	if code, _ := postSolve(t, ts, "engine=mc&timeout=banana", paperSATDIMACS); code != http.StatusBadRequest {
+		t.Errorf("bad timeout: HTTP %d", code)
+	}
+	if code, _ := postSolve(t, ts, "engine=mc&samples=many", paperSATDIMACS); code != http.StatusBadRequest {
+		t.Errorf("bad samples: HTTP %d", code)
+	}
+	// Negative numeric knobs are rejected, not passed to the engines (a
+	// negative worker count would panic the sampler's slice make).
+	for _, q := range []string{"engine=mc&workers=-1", "engine=mc&samples=-1", "engine=mc&theta=-2"} {
+		if code, _ := postSolve(t, ts, q, paperSATDIMACS); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", q, code)
+		}
+	}
+	if code, _ := postSolve(t, ts, "engine=mc&workers=100000", paperSATDIMACS); code != http.StatusBadRequest {
+		t.Errorf("huge workers: HTTP %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: HTTP %d", resp.StatusCode)
+	}
+}

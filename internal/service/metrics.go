@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// metrics is the service's observability state, exposed in Prometheus
+// text format on /metrics. It is hand-rolled — the repository vendors
+// nothing — but emits the standard exposition format (counters, gauges,
+// and cumulative histograms with +Inf buckets), so any Prometheus
+// scraper ingests it unchanged.
+//
+// The paper connection: samples_total and samples_per_second surface
+// the SNR economics of the NBL engines as live operational signals —
+// the per-engine wall-time histograms make the 4^(n·m) cost collapse
+// of preprocessed submissions directly visible next to their bare
+// counterparts.
+type metrics struct {
+	mu sync.Mutex
+
+	start time.Time
+
+	jobsTotal map[string]int64 // by terminal state
+
+	samplesTotal      int64
+	solveSecondsTotal float64
+
+	solveHist map[string]*histogram // per engine expression
+}
+
+// histBounds are the wall-time histogram bucket upper bounds in
+// seconds: geometric, microsecond reads to the minute-scale solves a
+// 4M-sample budget can reach on SATLIB instances.
+var histBounds = []float64{0.0005, 0.0025, 0.01, 0.05, 0.25, 1, 5, 25, 120}
+
+// maxHistEngines caps the per-engine histogram families: engine
+// expressions are client-controlled (metas nest arbitrarily), so an
+// unbounded map would let a client cycling distinct expressions grow
+// the metrics state and the /metrics document without limit. Overflow
+// folds into one "other" series.
+const maxHistEngines = 64
+
+type histogram struct {
+	buckets []int64 // cumulative counts per histBounds entry
+	count   int64
+	sum     float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		jobsTotal: make(map[string]int64),
+		solveHist: make(map[string]*histogram),
+	}
+}
+
+// jobFinished records a terminal state transition plus, for jobs that
+// actually ran an engine, the effort spent.
+func (m *metrics) jobFinished(state string, engine string, samples int64, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsTotal[state]++
+	if wall <= 0 && samples == 0 {
+		return
+	}
+	m.samplesTotal += samples
+	m.solveSecondsTotal += wall.Seconds()
+	h := m.solveHist[engine]
+	if h == nil {
+		// Fold once the table would exceed the cap with "other" counted.
+		if len(m.solveHist) >= maxHistEngines-1 {
+			engine = "other"
+			h = m.solveHist[engine]
+		}
+		if h == nil {
+			h = &histogram{buckets: make([]int64, len(histBounds))}
+			m.solveHist[engine] = h
+		}
+	}
+	s := wall.Seconds()
+	for i, ub := range histBounds {
+		if s <= ub {
+			h.buckets[i]++
+		}
+	}
+	h.count++
+	h.sum += s
+}
+
+// write emits the exposition document. Queue/running/cache gauges are
+// sampled by the caller (they live in the server and cache). The
+// document renders into a buffer under the mutex and hits the network
+// after release: every worker's finish() needs this lock, and a slow
+// scraper must not be able to stall the solve pool.
+func (m *metrics) write(out io.Writer, queued, running int64, hits, misses, evictions, entries int64) {
+	var buf bytes.Buffer
+	m.render(&buf, queued, running, hits, misses, evictions, entries)
+	out.Write(buf.Bytes()) //nolint:errcheck // scraper gone; nothing to do
+}
+
+func (m *metrics) render(w *bytes.Buffer, queued, running int64, hits, misses, evictions, entries int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP nblserve_up Whether the service is serving (always 1 on a scrape).")
+	fmt.Fprintln(w, "# TYPE nblserve_up gauge")
+	fmt.Fprintln(w, "nblserve_up 1")
+
+	fmt.Fprintln(w, "# HELP nblserve_uptime_seconds Seconds since the service started.")
+	fmt.Fprintln(w, "# TYPE nblserve_uptime_seconds gauge")
+	fmt.Fprintf(w, "nblserve_uptime_seconds %s\n", formatFloat(time.Since(m.start).Seconds()))
+
+	fmt.Fprintln(w, "# HELP nblserve_jobs_total Jobs finished, by terminal state.")
+	fmt.Fprintln(w, "# TYPE nblserve_jobs_total counter")
+	states := make([]string, 0, len(m.jobsTotal))
+	for s := range m.jobsTotal {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "nblserve_jobs_total{state=%q} %d\n", s, m.jobsTotal[s])
+	}
+
+	fmt.Fprintln(w, "# HELP nblserve_jobs_queued Jobs waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE nblserve_jobs_queued gauge")
+	fmt.Fprintf(w, "nblserve_jobs_queued %d\n", queued)
+	fmt.Fprintln(w, "# HELP nblserve_jobs_running Jobs currently on a worker.")
+	fmt.Fprintln(w, "# TYPE nblserve_jobs_running gauge")
+	fmt.Fprintf(w, "nblserve_jobs_running %d\n", running)
+
+	fmt.Fprintln(w, "# HELP nblserve_samples_total Noise/search samples consumed by finished jobs.")
+	fmt.Fprintln(w, "# TYPE nblserve_samples_total counter")
+	fmt.Fprintf(w, "nblserve_samples_total %d\n", m.samplesTotal)
+	fmt.Fprintln(w, "# HELP nblserve_solve_seconds_total Wall time spent solving finished jobs.")
+	fmt.Fprintln(w, "# TYPE nblserve_solve_seconds_total counter")
+	fmt.Fprintf(w, "nblserve_solve_seconds_total %s\n", formatFloat(m.solveSecondsTotal))
+	fmt.Fprintln(w, "# HELP nblserve_samples_per_second Lifetime mean sampling throughput.")
+	fmt.Fprintln(w, "# TYPE nblserve_samples_per_second gauge")
+	rate := 0.0
+	if m.solveSecondsTotal > 0 {
+		rate = float64(m.samplesTotal) / m.solveSecondsTotal
+	}
+	fmt.Fprintf(w, "nblserve_samples_per_second %s\n", formatFloat(rate))
+
+	fmt.Fprintln(w, "# HELP nblserve_cache_hits_total Verdict-cache hits.")
+	fmt.Fprintln(w, "# TYPE nblserve_cache_hits_total counter")
+	fmt.Fprintf(w, "nblserve_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP nblserve_cache_misses_total Verdict-cache misses.")
+	fmt.Fprintln(w, "# TYPE nblserve_cache_misses_total counter")
+	fmt.Fprintf(w, "nblserve_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP nblserve_cache_evictions_total Verdict-cache LRU evictions.")
+	fmt.Fprintln(w, "# TYPE nblserve_cache_evictions_total counter")
+	fmt.Fprintf(w, "nblserve_cache_evictions_total %d\n", evictions)
+	fmt.Fprintln(w, "# HELP nblserve_cache_entries Live verdict-cache entries.")
+	fmt.Fprintln(w, "# TYPE nblserve_cache_entries gauge")
+	fmt.Fprintf(w, "nblserve_cache_entries %d\n", entries)
+
+	fmt.Fprintln(w, "# HELP nblserve_solve_duration_seconds Wall time of solves that ran an engine, by engine expression.")
+	fmt.Fprintln(w, "# TYPE nblserve_solve_duration_seconds histogram")
+	engines := make([]string, 0, len(m.solveHist))
+	for e := range m.solveHist {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	for _, e := range engines {
+		h := m.solveHist[e]
+		for i, ub := range histBounds {
+			fmt.Fprintf(w, "nblserve_solve_duration_seconds_bucket{engine=%q,le=%q} %d\n",
+				e, formatFloat(ub), h.buckets[i])
+		}
+		fmt.Fprintf(w, "nblserve_solve_duration_seconds_bucket{engine=%q,le=\"+Inf\"} %d\n", e, h.count)
+		fmt.Fprintf(w, "nblserve_solve_duration_seconds_sum{engine=%q} %s\n", e, formatFloat(h.sum))
+		fmt.Fprintf(w, "nblserve_solve_duration_seconds_count{engine=%q} %d\n", e, h.count)
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients expect
+// (shortest round-trip decimal, no exponent surprises for NaN/Inf).
+func formatFloat(f float64) string {
+	if math.IsInf(f, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

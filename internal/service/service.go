@@ -1,0 +1,601 @@
+// Package service is the resident solve service on top of the engine
+// registry: nblserve's job manager, bounded worker pool, verdict cache,
+// and Prometheus metrics (the HTTP surface lives in http.go, the thin
+// binary in cmd/nblserve).
+//
+// Why a resident process matters for this reproduction: every engine
+// setup the paper's construction needs — the 2·n·m-generator noise
+// banks, the evaluator scratch, the block buffers — is pure overhead
+// when a solve lives and dies with a CLI invocation. The service
+// amortizes it three ways:
+//
+//   - Workers keep warm per-engine state. A worker that has solved one
+//     instance re-serves the next through the same Solver value; for
+//     bare engine expressions ("mc", "mc" inside a lineup member built
+//     once) the Monte-Carlo adapter behind it reuses its banks via
+//     noise.Bank.Reseed and evaluator BindAll/Reset whenever the
+//     geometry repeats, so repeated traffic never rebuilds a bank.
+//     Meta expressions (pre(...), portfolio) deliberately construct
+//     fresh inner engines per solve for component isolation, so they
+//     run cold inside — making component engines worker-affine is the
+//     next amortization lever (see ROADMAP).
+//   - Repeated formulas dedupe through the verdict cache, keyed by a
+//     renaming-stable canonical fingerprint (cnf.Canonicalize):
+//     resubmitting a formula — even relabeled — replays the stored
+//     verdict in microseconds. Only definitive verdicts are cached;
+//     see verdictCache for the UNKNOWN argument.
+//   - The paper's live statistics (samples, running S_N mean, standard
+//     error) stream out of in-flight jobs via the solver progress hook,
+//     and aggregate into /metrics.
+//
+// Job lifecycle: Submit validates the engine expression, consults the
+// cache, and either completes the job instantly (hit) or enqueues it.
+// A fixed pool of workers drains the queue; each job's solve runs under
+// its own context (per-job deadline, DELETE-driven cancel) derived from
+// the server's base context. Shutdown stops intake, lets the pool drain
+// queued and running jobs within a grace period, then cancels the base
+// context so stragglers return promptly with partial stats.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Queued and Running are transient; the rest are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the solve-pool size (default 2). It bounds concurrent
+	// engine work; queued jobs beyond it wait.
+	Workers int
+	// QueueDepth bounds the backlog (default 256). A full queue rejects
+	// submissions with ErrQueueFull rather than buffering unboundedly.
+	QueueDepth int
+	// CacheEntries caps the verdict cache (default 4096; <0 disables).
+	CacheEntries int
+	// DefaultEngine is used when a submission names none (default
+	// "pre(portfolio)": preprocess, decompose, race the lineup per
+	// component).
+	DefaultEngine string
+	// MaxJobs bounds the retained job table (default 65536). Oldest
+	// terminal jobs are evicted first; active jobs are never evicted.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = "pre(portfolio)"
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 65536
+	}
+	return c
+}
+
+// Job is one solve request's full lifecycle record. All mutable fields
+// are guarded by mu; Done is closed exactly once on reaching a terminal
+// state.
+type Job struct {
+	ID     string
+	Engine string
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    solver.Result
+	err       error
+	cacheHit  bool
+	cancelled bool // DELETE was requested
+	progress  solver.Stats
+
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{}
+
+	f     *cnf.Formula
+	canon *cnf.Canonical // computed at submit, reused by finish's cache put
+	cfg   solver.Config
+}
+
+// Errors returned by Submit and the job accessors.
+var (
+	ErrQueueFull    = errors.New("service: job queue is full")
+	ErrShuttingDown = errors.New("service: server is shutting down")
+	ErrNoSuchJob    = errors.New("service: no such job")
+)
+
+// Server is the resident solve service.
+type Server struct {
+	cfg   Config
+	cache *verdictCache
+	met   *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled on pending-queue pushes and shutdown
+	accepting bool
+	jobs      map[string]*Job
+	jobOrder  []string // submission order, for listing and eviction
+	nextID    uint64
+	// pending is the backlog deque. A slice (not a channel) on purpose:
+	// cancelling a queued job removes it here immediately, so a
+	// cancelled job never occupies backlog capacity as a tombstone.
+	pending []*Job
+	queued  int64
+	running int64
+
+	wg sync.WaitGroup
+}
+
+// NewServer starts cfg.Workers workers and returns the service. Stop it
+// with Shutdown.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      newVerdictCache(cfg.CacheEntries),
+		met:        newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		accepting:  true,
+		jobs:       make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SubmitOptions carries the per-job knobs of a submission.
+type SubmitOptions struct {
+	// Engine is a registry expression ("mc", "pre(portfolio)", ...);
+	// empty selects Config.DefaultEngine.
+	Engine string
+	// Timeout bounds the solve's wall clock (0 = none beyond server
+	// lifetime).
+	Timeout time.Duration
+	// Solver carries engine knobs (seed, budgets, theta, lineup, model
+	// recovery); zero values take registry defaults.
+	Solver solver.Config
+}
+
+// Submit validates, consults the verdict cache, and either completes
+// the job immediately (cache hit) or enqueues it for the pool. The
+// returned Job is live: poll Snapshot, wait on Done(), cancel with
+// Cancel.
+func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
+	engine := opts.Engine
+	if engine == "" {
+		engine = s.cfg.DefaultEngine
+	}
+	// Fail a bad engine expression or config at submit time, not on a
+	// worker: the submitter is still on the line to see the 400.
+	if _, err := solver.NewWith(engine, opts.Solver); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+
+	now := time.Now()
+	job := &Job{
+		Engine:    engine,
+		state:     StateQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+		f:         f,
+		cfg:       opts.Solver,
+	}
+
+	if s.cache.enabled() {
+		job.canon = cnf.Canonicalize(f)
+	}
+	if res, ok := s.cache.get(engine, cfgKey(opts.Solver), job.canon); ok {
+		// Replay: the stored Result verbatim (stats, wall, engine), the
+		// model translated through this submission's renaming. The job
+		// is fully terminal *before* register publishes it — once it is
+		// visible to GET/DELETE, a concurrent Cancel must only ever see
+		// a terminal state (it would otherwise race this finalization
+		// and double-close done).
+		job.state = StateDone
+		job.started = now
+		job.finished = now
+		job.result = res
+		job.cacheHit = true
+		job.release()
+		close(job.done)
+		s.mu.Lock()
+		if !s.accepting {
+			s.mu.Unlock()
+			return nil, ErrShuttingDown
+		}
+		s.register(job)
+		s.mu.Unlock()
+		s.met.jobFinished(string(StateDone), engine, 0, 0)
+		return job, nil
+	}
+
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	job.ctx, job.cancel = ctx, cancel
+
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrShuttingDown
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	s.register(job)
+	s.pending = append(s.pending, job)
+	s.queued++
+	s.cond.Signal()
+	s.mu.Unlock()
+	// A per-job deadline must bound the whole job, not just the solve:
+	// without a watcher an expired job would sit in the backlog
+	// (holding its slot, blocking sync/long-poll waiters) until a
+	// worker happened to claim it. The same reap path serves DELETE.
+	context.AfterFunc(ctx, func() { s.reapQueued(job) })
+	return job, nil
+}
+
+// reapQueued finalizes a job as cancelled if it is still in the
+// backlog: pulled under s.mu (mutually exclusive with a worker claim),
+// so exactly one of reap/claim wins. Running or terminal jobs are left
+// alone — their context owners handle them.
+func (s *Server) reapQueued(j *Job) {
+	s.mu.Lock()
+	found := false
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			s.queued--
+			found = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		return
+	}
+	j.mu.Lock()
+	j.cancelled = true
+	j.state = StateCancelled
+	j.err = j.ctx.Err()
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.release()
+	s.met.jobFinished(string(StateCancelled), j.Engine, 0, 0)
+	close(j.done)
+}
+
+// register assigns an ID and stores the job; caller holds s.mu.
+func (s *Server) register(job *Job) {
+	s.nextID++
+	job.ID = "j" + strconv.FormatUint(s.nextID, 10)
+	s.jobs[job.ID] = job
+	s.jobOrder = append(s.jobOrder, job.ID)
+	// Evict oldest terminal jobs over the retention cap — head-only, so
+	// the whole pass is O(evicted) with no splicing under s.mu (the
+	// dead backing-array prefix is reclaimed at the next append
+	// growth). A still-live head pauses eviction instead of being
+	// scanned past: the table then exceeds the cap by at most the
+	// number of live jobs (bounded by Workers + QueueDepth), and
+	// eviction catches up as soon as the head finishes.
+	for len(s.jobs) > s.cfg.MaxJobs && len(s.jobOrder) > 0 {
+		head, ok := s.jobs[s.jobOrder[0]]
+		if !ok {
+			s.jobOrder = s.jobOrder[1:]
+			continue
+		}
+		head.mu.Lock()
+		terminal := head.state.Terminal()
+		head.mu.Unlock()
+		if !terminal {
+			break // oldest retained job still live; retain over cap
+		}
+		delete(s.jobs, head.ID)
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNoSuchJob
+	}
+	return j, nil
+}
+
+// Jobs returns all retained jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.jobOrder {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job by cancelling its context.
+// Queued jobs are reaped out of the backlog (freeing their slot) and
+// finish promptly as cancelled via the context watcher; running jobs'
+// engines return promptly (ctx polled in every hot loop), freeing the
+// worker, and the job finishes cancelled with partial stats. Terminal
+// jobs are left untouched.
+func (s *Server) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return nil
+	}
+	j.cancelled = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return nil
+}
+
+// worker drains the queue until Shutdown closes it. Each worker keeps
+// its own warm solver per (engine expression, config): constructing a
+// registry engine is cheap, but the constructed Monte-Carlo adapter
+// accretes reusable noise banks across solves, which is exactly the
+// state worth pinning to a worker.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	type warm struct {
+		cfgKey string
+		solver solver.Solver
+	}
+	// The warm table is bounded: engine expressions are client
+	// controlled (metas nest arbitrarily), and each mc-backed entry
+	// pins n·m-sized bank state, so an unbounded map would let a client
+	// cycling distinct expressions grow worker memory monotonically.
+	const maxWarm = 8
+	warmed := make(map[string]warm)
+	var warmOrder []string // insertion order; oldest evicted first
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && s.accepting {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			// Shutting down and the backlog is drained.
+			s.mu.Unlock()
+			return
+		}
+		job := s.pending[0]
+		s.pending = s.pending[1:]
+		s.queued--
+		s.running++
+		s.mu.Unlock()
+
+		// Claiming removed the job from the backlog under s.mu, so a
+		// queued-cancel can no longer reach it; a cancel from here on
+		// goes through its context.
+		job.mu.Lock()
+		job.state = StateRunning
+		job.started = time.Now()
+		job.mu.Unlock()
+
+		ck := cfgKey(job.cfg)
+		w, ok := warmed[job.Engine]
+		if !ok || w.cfgKey != ck {
+			slv, err := solver.NewWith(job.Engine, job.cfg)
+			if err != nil {
+				// Validated at submit; only a racing registry change can
+				// land here. Fail the job, not the worker.
+				s.finish(job, solver.Result{}, err)
+				continue
+			}
+			if _, existed := warmed[job.Engine]; !existed {
+				if len(warmed) >= maxWarm {
+					delete(warmed, warmOrder[0])
+					warmOrder = warmOrder[1:]
+				}
+				warmOrder = append(warmOrder, job.Engine)
+			}
+			w = warm{cfgKey: ck, solver: slv}
+			warmed[job.Engine] = w
+		}
+
+		ctx := solver.ContextWithProgress(job.ctx, func(st solver.Stats) {
+			job.mu.Lock()
+			job.progress = st
+			job.mu.Unlock()
+		})
+		res, err := w.solver.Solve(ctx, job.f)
+		s.finish(job, res, err)
+	}
+}
+
+// finish drives a job to its terminal state and updates cache and
+// metrics. A cancelled job (DELETE or per-job deadline doing its work)
+// is distinguished from a genuine failure.
+func (s *Server) finish(job *Job, res solver.Result, err error) {
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.result = res
+	switch {
+	case err == nil:
+		job.state = StateDone
+	case job.cancelled || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.state = StateCancelled
+		job.err = err
+	default:
+		job.state = StateFailed
+		job.err = err
+	}
+	state := job.state
+	job.mu.Unlock()
+	if job.cancel != nil {
+		job.cancel()
+	}
+
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+
+	// All bookkeeping lands before done closes: the instant done is
+	// observable (sync responses, long-polls), a client may resubmit
+	// the same formula or scrape /metrics, and both must already see
+	// this job's cache entry and counters.
+	if state == StateDone && job.canon != nil {
+		s.cache.put(job.Engine, cfgKey(job.cfg), job.canon, res)
+	}
+	job.release()
+	s.met.jobFinished(string(state), job.Engine, res.Stats.Samples, res.Wall)
+	close(job.done)
+}
+
+// release drops the references a terminal job no longer needs. The
+// retention table is bounded in jobs, not bytes; without this a stream
+// of large submissions would pin up to MaxJobs parsed formulas.
+func (j *Job) release() {
+	j.mu.Lock()
+	j.f = nil
+	j.canon = nil
+	j.mu.Unlock()
+}
+
+// Shutdown stops intake and drains the pool: queued and running jobs
+// keep solving until done or until ctx expires, at which point the base
+// context is cancelled and every engine returns promptly (partial
+// stats, cancelled state). It returns nil on a clean drain and ctx's
+// error when the grace period ran out.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		return nil
+	}
+	s.accepting = false
+	s.cond.Broadcast() // wake parked workers so they can drain and exit
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		<-drained
+	}
+	s.baseCancel()
+	return err
+}
+
+// Counts returns the live queue/running gauges.
+func (s *Server) Counts() (queued, running int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued, s.running
+}
+
+// Snapshot is a point-in-time copy of a job's observable state.
+type Snapshot struct {
+	ID        string
+	Engine    string
+	State     State
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	CacheHit  bool
+	Progress  solver.Stats
+	Result    solver.Result
+	Err       error
+}
+
+// Snapshot returns the job's current observable state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:        j.ID,
+		Engine:    j.Engine,
+		State:     j.state,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		CacheHit:  j.cacheHit,
+		Progress:  j.progress,
+		Result:    j.result,
+		Err:       j.err,
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// cfgKey folds the solver knobs that select distinct warm engines into
+// a comparison key.
+func cfgKey(c solver.Config) string {
+	return fmt.Sprintf("%d|%d|%g|%d|%s|%s|%d|%d|%g|%d|%t|%v",
+		c.Seed, c.MaxSamples, c.Theta, c.Workers, c.Family, c.Allocation,
+		c.MaxFlips, c.Restarts, c.NoiseP, c.Candidates, c.FindModel, c.Members)
+}

@@ -22,6 +22,7 @@ package solver
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,6 +57,32 @@ func (s Status) String() string {
 	}
 }
 
+// MarshalJSON encodes the status as its SAT-competition string, the
+// form every service client sees.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the SAT-competition strings (anything else is
+// an error, not a silent UNKNOWN).
+func (s *Status) UnmarshalJSON(data []byte) error {
+	var str string
+	if err := json.Unmarshal(data, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "SATISFIABLE":
+		*s = StatusSat
+	case "UNSATISFIABLE":
+		*s = StatusUnsat
+	case "UNKNOWN":
+		*s = StatusUnknown
+	default:
+		return fmt.Errorf("solver: unknown status %q", str)
+	}
+	return nil
+}
+
 // Definitive reports whether the status is a verdict (SAT or UNSAT)
 // rather than a shrug.
 func (s Status) Definitive() bool { return s == StatusSat || s == StatusUnsat }
@@ -65,27 +92,27 @@ func (s Status) Definitive() bool { return s == StatusSat || s == StatusUnsat }
 type Stats struct {
 	// Samples is the number of noise/carrier samples consumed (NBL
 	// engines) or simulation timesteps (analog).
-	Samples int64
+	Samples int64 `json:"samples,omitempty"`
 	// Decisions and Propagations count search effort (dpll, cdcl, hybrid).
-	Decisions    int64
-	Propagations int64
+	Decisions    int64 `json:"decisions,omitempty"`
+	Propagations int64 `json:"propagations,omitempty"`
 	// Conflicts counts conflicts (cdcl) or backtracks (dpll, hybrid).
-	Conflicts int64
+	Conflicts int64 `json:"conflicts,omitempty"`
 	// Flips and Restarts count local-search effort (walksat).
-	Flips    int64
-	Restarts int64
+	Flips    int64 `json:"flips,omitempty"`
+	Restarts int64 `json:"restarts,omitempty"`
 	// Probes counts NBL-coprocessor invocations (hybrid).
-	Probes int64
+	Probes int64 `json:"probes,omitempty"`
 	// Mean and StdErr describe the final S_N statistic (NBL engines).
-	Mean   float64
-	StdErr float64
+	Mean   float64 `json:"mean,omitempty"`
+	StdErr float64 `json:"stderr,omitempty"`
 	// NMBefore and NMAfter record the n·m product before and after
 	// preprocessing, and Components the number of variable-disjoint
 	// subformulas solved independently (pipeline meta-engines). Zero
 	// everywhere else.
-	NMBefore   int64
-	NMAfter    int64
-	Components int64
+	NMBefore   int64 `json:"nm_before,omitempty"`
+	NMAfter    int64 `json:"nm_after,omitempty"`
+	Components int64 `json:"components,omitempty"`
 }
 
 // Add accumulates other into s field-wise (used by the portfolio to
@@ -127,6 +154,111 @@ func (r Result) String() string {
 		s += " model " + r.Assignment.String()
 	}
 	return s
+}
+
+// resultJSON is the wire form of Result: the model is rendered as
+// DIMACS signed literals (only assigned variables appear) and the wall
+// clock in integer nanoseconds, so any HTTP client can parse a verdict
+// without knowing the packed in-memory encodings.
+type resultJSON struct {
+	Status Status  `json:"status"`
+	Model  []int   `json:"model,omitempty"`
+	Engine string  `json:"engine,omitempty"`
+	WallNS int64   `json:"wall_ns"`
+	Wall   string  `json:"wall"`
+	Stats  Stats   `json:"stats"`
+	ZScore float64 `json:"z,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for the service API.
+func (r Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		Status: r.Status,
+		Engine: r.Engine,
+		WallNS: r.Wall.Nanoseconds(),
+		Wall:   r.Wall.String(),
+		Stats:  r.Stats,
+	}
+	if r.Stats.StdErr != 0 {
+		out.ZScore = r.Stats.Mean / r.Stats.StdErr
+	}
+	if r.Assignment != nil {
+		for v := cnf.Var(1); int(v) < len(r.Assignment); v++ {
+			switch r.Assignment.Get(v) {
+			case cnf.True:
+				out.Model = append(out.Model, int(v))
+			case cnf.False:
+				out.Model = append(out.Model, -int(v))
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON. The assignment length is
+// inferred from the largest variable in the model, so a partial model
+// over unnumbered trailing variables round-trips to an equivalent (not
+// necessarily identical-length) assignment.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	r.Status = in.Status
+	r.Engine = in.Engine
+	r.Wall = time.Duration(in.WallNS)
+	r.Stats = in.Stats
+	r.Assignment = nil
+	if len(in.Model) > 0 {
+		maxVar := 0
+		for _, x := range in.Model {
+			if x < 0 {
+				x = -x
+			}
+			if x == 0 {
+				return fmt.Errorf("solver: model literal 0")
+			}
+			if x > maxVar {
+				maxVar = x
+			}
+		}
+		a := cnf.NewAssignment(maxVar)
+		for _, x := range in.Model {
+			if x > 0 {
+				a.Set(cnf.Var(x), cnf.True)
+			} else {
+				a.Set(cnf.Var(-x), cnf.False)
+			}
+		}
+		r.Assignment = a
+	}
+	return nil
+}
+
+// ProgressFunc observes a live Stats snapshot of a solve in flight.
+// Implementations must be fast and concurrency-safe: engines may call
+// them from their sampling loops, and a pipeline or portfolio solve
+// invokes the same hook from several component goroutines.
+type ProgressFunc func(Stats)
+
+// progressKey carries a ProgressFunc through a context.
+type progressKey struct{}
+
+// ContextWithProgress returns a context carrying fn. Engines that
+// support live progress (the Monte-Carlo sampler reports at every
+// convergence-round boundary) look the hook up with
+// ProgressFromContext and call it with partial Stats while solving.
+// The hook travels with the context — not with the engine — so a
+// long-lived (warm) solver instance can serve many requests, each with
+// its own observer.
+func ContextWithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// ProgressFromContext returns the progress hook carried by ctx, or nil.
+func ProgressFromContext(ctx context.Context) ProgressFunc {
+	fn, _ := ctx.Value(progressKey{}).(ProgressFunc)
+	return fn
 }
 
 // Solver is the one interface every engine implements.

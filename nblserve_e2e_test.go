@@ -1,0 +1,213 @@
+// End-to-end test of cmd/nblserve: build the real binary, run it on a
+// real TCP socket, drive the full job lifecycle over HTTP — submit the
+// SATLIB-dialect testdata instances through pre(mc), poll verdicts,
+// scrape metrics — and shut it down gracefully with SIGTERM. This is
+// the same choreography as the CI smoke job, kept in-repo so it runs
+// on every `go test ./...`.
+package repro
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNblserveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "nblserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/nblserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/nblserve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	procDone := make(chan error, 1)
+	go func() { procDone <- cmd.Wait() }()
+	exited := false
+	defer func() {
+		if !exited {
+			cmd.Process.Kill()
+			<-procDone
+		}
+	}()
+
+	// The first stdout line announces the resolved address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len(marker):])
+	go func() { // keep the pipe drained
+		for sc.Scan() {
+		}
+	}()
+
+	waitHealthy(t, base)
+
+	// The paper's S_SAT (SATLIB dialect) through pre(mc): preprocessing
+	// collapses it inside the Monte-Carlo SNR reach, so 400k samples
+	// certify SAT.
+	sat := postFile(t, base+"/solve?engine=pre(mc)&sync=1&samples=400000", "testdata/paper-sat-satlib.cnf")
+	if sat.State != "done" || sat.Result == nil || sat.Result.Status != StatusSat {
+		t.Fatalf("paper-sat via pre(mc): %+v", sat)
+	}
+
+	// The paper's S_UNSAT: preprocessing proves the contradiction
+	// outright (zero samples needed).
+	unsat := postFile(t, base+"/solve?engine=pre(mc)&sync=1&samples=400000", "testdata/paper-unsat.cnf")
+	if unsat.State != "done" || unsat.Result == nil || unsat.Result.Status != StatusUnsat {
+		t.Fatalf("paper-unsat via pre(mc): %+v", unsat)
+	}
+
+	// Async lifecycle: submit, long-poll to done, model verifies.
+	async := postFile(t, base+"/solve?engine=cdcl&model=1", "testdata/uf8-satlib.cnf")
+	if async.ID == "" {
+		t.Fatalf("async submit returned no job ID: %+v", async)
+	}
+	// The 202 snapshot may already be terminal (cdcl can win the race
+	// to the snapshot), but a non-terminal snapshot must never carry a
+	// result.
+	if async.Result != nil && async.State != "done" {
+		t.Fatalf("non-terminal snapshot carries a result: %+v", async)
+	}
+	var polled e2eJob
+	getJSON(t, base+"/jobs/"+async.ID+"?wait=10s", &polled)
+	if polled.State != "done" || polled.Result == nil || polled.Result.Status != StatusSat {
+		t.Fatalf("async uf8 job: %+v", polled)
+	}
+	uf8 := readTestdata(t, "testdata/uf8-satlib.cnf")
+	if polled.Result.Assignment == nil || !polled.Result.Assignment.Satisfies(uf8) {
+		t.Fatal("returned model does not satisfy uf8")
+	}
+
+	// A duplicate submission must come back as a cache hit.
+	dup := postFile(t, base+"/solve?engine=pre(mc)&sync=1&samples=400000", "testdata/paper-sat-satlib.cnf")
+	if !dup.CacheHit || dup.Result == nil || dup.Result.Status != StatusSat {
+		t.Fatalf("duplicate submission should hit the verdict cache: %+v", dup)
+	}
+
+	// Metrics scrape: non-empty, with the counters the dashboard keys on.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`nblserve_jobs_total{state="done"}`,
+		"nblserve_cache_hits_total 1",
+		`nblserve_solve_duration_seconds_count{engine="pre(mc)"}`,
+		"nblserve_samples_per_second",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics scrape missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-procDone:
+		exited = true
+		if err != nil {
+			t.Fatalf("nblserve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nblserve did not exit after SIGTERM")
+	}
+}
+
+// e2eJob mirrors the service's job JSON using only the public repro
+// types (Result has first-class JSON now).
+type e2eJob struct {
+	ID       string     `json:"id"`
+	Engine   string     `json:"engine"`
+	State    string     `json:"state"`
+	Started  *time.Time `json:"started,omitempty"`
+	CacheHit bool       `json:"cache_hit"`
+	Result   *Result    `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func postFile(t *testing.T, url, path string) e2eJob {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	resp, err := http.Post(url, "text/plain", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		t.Fatalf("POST %s: HTTP %d\n%s", url, resp.StatusCode, body)
+	}
+	var job e2eJob
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatalf("bad job JSON: %v\n%s", err, body)
+	}
+	return job
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: HTTP %d\n%s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -123,6 +123,18 @@ var (
 	WithMembers    = solver.WithMembers
 )
 
+// ProgressFunc observes live Stats snapshots of a solve in flight; see
+// ContextWithProgress.
+type ProgressFunc = solver.ProgressFunc
+
+// ContextWithProgress returns a context carrying a progress observer:
+// engines that support live progress (the Monte-Carlo sampler reports
+// samples/mean/stderr at every convergence-round boundary) invoke it
+// with partial Stats while solving. nblserve's job progress rides this.
+func ContextWithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return solver.ContextWithProgress(ctx, fn)
+}
+
 // New builds a registered engine by name: "mc", "exact", "rtw", "sbl",
 // "analog", "hybrid", "dpll", "cdcl", "walksat", or "portfolio".
 // Meta-engine expressions compose around any of them: "pre(mc)" runs
