@@ -15,6 +15,12 @@
 // returns a definitive verdict where bare mc is SNR-bound to UNKNOWN
 // at the same budget.
 //
+// A third section ("pool") pairs warm-vs-cold solves through the
+// engine lease pool: the same instance solved twice by one leased
+// engine, with a warm_speedup field recording how much of a request
+// was construction overhead (bank building, evaluator scratch) that a
+// resident service amortizes away on repeated-geometry traffic.
+//
 // Usage:
 //
 //	nblbench [flags] [file.cnf ...]
@@ -41,10 +47,12 @@ import (
 
 	"repro"
 	"repro/internal/cnf"
+	"repro/internal/enginepool"
 	"repro/internal/gen"
 	"repro/internal/hyperspace"
 	"repro/internal/noise"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Report is the top-level BENCH_*.json document.
@@ -63,6 +71,25 @@ type Report struct {
 	CalibrationOpsPerSec float64     `json:"calibration_ops_per_sec"`
 	Kernel               []KernelRun `json:"kernel"`
 	Runs                 []EngineRun `json:"runs"`
+	Pool                 []PoolRun   `json:"pool"`
+}
+
+// PoolRun is one paired warm-vs-cold measurement through the engine
+// lease pool: the same instance solved twice by the same leased
+// engine, first cold (pool empty, banks built from scratch) then warm
+// (instance reacquired, banks/buffers reused via Reset). WarmSpeedup
+// is the cold/warm wall ratio — the per-request construction overhead
+// a resident service amortizes away on repeated-geometry traffic.
+type PoolRun struct {
+	Instance    string  `json:"instance"`
+	Vars        int     `json:"vars"`
+	Clauses     int     `json:"clauses"`
+	Engine      string  `json:"engine"`
+	ColdWallNS  int64   `json:"cold_wall_ns"`
+	WarmWallNS  int64   `json:"warm_wall_ns"`
+	Samples     int64   `json:"samples"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	Err         string  `json:"error,omitempty"`
 }
 
 // KernelRun compares the scalar and block evaluation kernels on one
@@ -184,6 +211,36 @@ func main() {
 					in.name, name, run.Status, time.Duration(run.WallNS).Round(time.Microsecond),
 					run.Samples, run.SamplesPerSec, extra)
 			}
+		}
+	}
+
+	// Paired warm-vs-cold rows through the engine lease pool: the same
+	// instance solved twice by a leased engine quantifies how much of a
+	// request is construction overhead that warm reuse amortizes away.
+	// Skipped rows: meta expressions (pre(...), portfolio) lease their
+	// inner engines from the process-global enginepool.Default — which
+	// the runs above already warmed — so a per-rep private pool cannot
+	// make their cold measurement honestly cold; non-Reusable engines
+	// (cdcl, dpll, walksat) have no warm path at all, and a row for
+	// them would just measure two cold constructions.
+	for _, in := range insts {
+		for _, eng := range lineup {
+			eng = strings.TrimSpace(eng)
+			if eng == "" || strings.Contains(eng, "(") || eng == "portfolio" ||
+				!poolable(eng, *seed) {
+				continue
+			}
+			pr := poolBench(eng, in, *seed, *samples, *timeout, *reps)
+			rep.Pool = append(rep.Pool, pr)
+			if pr.Err != "" {
+				fmt.Printf("pool %-19s %-10s error: %s\n", in.name, eng, pr.Err)
+				continue
+			}
+			fmt.Printf("pool %-19s %-10s cold %10v  warm %10v  speedup %.2fx\n",
+				in.name, eng,
+				time.Duration(pr.ColdWallNS).Round(time.Microsecond),
+				time.Duration(pr.WarmWallNS).Round(time.Microsecond),
+				pr.WarmSpeedup)
 		}
 	}
 
@@ -350,6 +407,73 @@ func kernelBench(in instance, seed uint64, budget int64) KernelRun {
 		BlockSpeedup:    blockSec / scalarSec,
 		SamplesMeasured: budget,
 	}
+}
+
+// poolable reports whether the engine expression constructs a
+// solver.Reusable instance — the precondition for a meaningful
+// warm-vs-cold pair. One throwaway adapter construction answers it.
+func poolable(engine string, seed uint64) bool {
+	s, err := solver.NewWith(engine, solver.Config{Seed: seed})
+	if err != nil {
+		return true // let poolBench surface the construction error as a row
+	}
+	_, reusable := s.(solver.Reusable)
+	return reusable
+}
+
+// poolBench measures one paired warm-vs-cold row: per rep, a fresh
+// pool solves the instance cold (acquire constructs, banks build
+// lazily inside the solve) and then warm (reacquire resets the same
+// instance in place), with the full acquire+solve+release span timed.
+// The minimum wall per temperature across reps is kept, mirroring
+// solveBest's peak-throughput policy.
+func poolBench(engine string, in instance, seed uint64, samples int64, timeout time.Duration, reps int) PoolRun {
+	run := PoolRun{
+		Instance: in.name,
+		Vars:     in.f.NumVars,
+		Clauses:  in.f.NumClauses(),
+		Engine:   engine,
+	}
+	cfg := solver.Config{Seed: seed, MaxSamples: samples}
+	solve := func(p *enginepool.Pool) (time.Duration, int64, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		start := time.Now()
+		lease, err := p.Acquire(engine, cfg, in.f)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := lease.Solve(ctx)
+		lease.Release()
+		return time.Since(start), res.Stats.Samples, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		p := enginepool.New(4)
+		cold, n, err := solve(p)
+		if err != nil {
+			run.Err = err.Error()
+			return run
+		}
+		warm, _, err := solve(p)
+		if err != nil {
+			run.Err = err.Error()
+			return run
+		}
+		if r == 0 || cold.Nanoseconds() < run.ColdWallNS {
+			run.ColdWallNS = cold.Nanoseconds()
+		}
+		if r == 0 || warm.Nanoseconds() < run.WarmWallNS {
+			run.WarmWallNS = warm.Nanoseconds()
+		}
+		run.Samples = n
+	}
+	if run.WarmWallNS > 0 {
+		run.WarmSpeedup = float64(run.ColdWallNS) / float64(run.WarmWallNS)
+	}
+	return run
 }
 
 // solveBest runs the (instance, engine) row reps times and keeps the

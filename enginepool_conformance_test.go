@@ -1,0 +1,167 @@
+// Warm==cold conformance for the engine lease pool: a solver leased
+// warm (banks, evaluators, and block buffers reused through Reset)
+// must return bit-for-bit the verdict, model, and effort accounting a
+// cold construction would. This is the correctness contract that lets
+// every layer — pipeline components, portfolio members, service
+// workers — lease instead of build without changing a single result.
+package repro
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/enginepool"
+	"repro/internal/solver"
+)
+
+// poolConformanceCases pairs engine expressions with instances whose
+// pooled solves must be deterministic: single-threaded stochastic
+// engines, the model-recovering mc path, and the preprocess pipeline
+// (whose component fan-out leases inner engines itself).
+func poolConformanceCases() []struct {
+	name   string
+	engine string
+	cfg    solver.Config
+	f      *Formula
+} {
+	base := solver.Config{Seed: 5, MaxSamples: 1_000_000}
+	model := base
+	model.FindModel = true
+	return []struct {
+		name   string
+		engine string
+		cfg    solver.Config
+		f      *Formula
+	}{
+		{"mc-sat", "mc", base, PaperSAT()},
+		{"mc-unsat", "mc", base, PaperUNSAT()},
+		{"mc-model", "mc", model, PaperSAT()},
+		{"rtw-sat", "rtw", base, PaperSAT()},
+		{"rtw-ex6", "rtw", base, PaperExample6()},
+		{"sbl-ex6", "sbl", base, PaperExample6()},
+		{"pre-mc-sat", "pre(mc)", base, PaperSAT()},
+		{"pre-mc-disjoint", "pre(mc)", base,
+			DisjointUnion(PaperExample6(), PaperExample6(), PaperExample6())},
+	}
+}
+
+// TestPoolWarmEqualsCold drives each case three times — once cold
+// through a private pool, once warm through the same pool, and once
+// through a plain registry construction — and requires identical
+// verdicts, models, and sample counts from all three.
+func TestPoolWarmEqualsCold(t *testing.T) {
+	for _, tc := range poolConformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			pool := enginepool.New(4)
+
+			cold := poolSolve(t, pool, tc.engine, tc.cfg, tc.f)
+			warm := poolSolve(t, pool, tc.engine, tc.cfg, tc.f)
+			direct := registrySolve(t, tc.engine, tc.cfg, tc.f)
+
+			for _, cmp := range []struct {
+				label string
+				got   Result
+			}{{"warm-vs-cold", warm}, {"direct-vs-cold", direct}} {
+				if cmp.got.Status != cold.Status {
+					t.Errorf("%s: status %v vs %v", cmp.label, cmp.got.Status, cold.Status)
+				}
+				if cmp.got.Stats != cold.Stats {
+					t.Errorf("%s: stats\n%+v\nvs\n%+v", cmp.label, cmp.got.Stats, cold.Stats)
+				}
+				if !reflect.DeepEqual(cmp.got.Assignment, cold.Assignment) {
+					t.Errorf("%s: models differ: %v vs %v",
+						cmp.label, cmp.got.Assignment, cold.Assignment)
+				}
+			}
+			if cold.Status == StatusSat && cold.Assignment != nil &&
+				!cold.Assignment.Satisfies(tc.f) {
+				t.Error("model does not satisfy the instance")
+			}
+		})
+	}
+}
+
+// TestPoolPortfolioWarmVerdicts covers portfolio lineups: the race
+// winner (and therefore the stats) is timing-dependent, but the
+// verdict is not — warm leases must preserve it, and every SAT model
+// must satisfy the instance.
+func TestPoolPortfolioWarmVerdicts(t *testing.T) {
+	cfg := solver.Config{Seed: 5, MaxSamples: 1_000_000,
+		Members: []string{"cdcl", "mc", "walksat"}}
+	pool := enginepool.New(4)
+	for _, tc := range []struct {
+		name string
+		f    *Formula
+		want Status
+	}{
+		{"sat", PaperSAT(), StatusSat},
+		{"unsat", PaperUNSAT(), StatusUnsat},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for i, label := range []string{"cold", "warm", "warm2"} {
+				r := poolSolve(t, pool, "portfolio", cfg, tc.f)
+				if r.Status != tc.want {
+					t.Errorf("%s (run %d): got %v, want %v", label, i, r.Status, tc.want)
+				}
+				if r.Status == StatusSat && r.Assignment != nil && !r.Assignment.Satisfies(tc.f) {
+					t.Errorf("%s: model does not satisfy", label)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolMixedGeometryTrafficStaysSound interleaves three geometry
+// classes through one small pool so leases are reset, reused, and
+// evicted mid-stream, and checks every verdict against the exact
+// oracle. This is the mixed-traffic pattern a resident service sees.
+func TestPoolMixedGeometryTrafficStaysSound(t *testing.T) {
+	pool := enginepool.New(2) // force evictions across the three classes
+	cfg := solver.Config{Seed: 9, MaxSamples: 1_000_000}
+	instances := []*Formula{PaperSAT(), PaperExample6(), PaperExample7()}
+	first := make(map[int]Result)
+	for round := 0; round < 3; round++ {
+		for i, f := range instances {
+			r := poolSolve(t, pool, "mc", cfg, f)
+			if want := ExactCheck(f); (r.Status == StatusSat) != want && r.Status.Definitive() {
+				t.Fatalf("round %d instance %d: verdict %v, oracle %v", round, i, r.Status, want)
+			}
+			if round == 0 {
+				first[i] = r
+				continue
+			}
+			if r.Status != first[i].Status || r.Stats != first[i].Stats {
+				t.Errorf("round %d instance %d drifted: %+v vs %+v",
+					round, i, r.Stats, first[i].Stats)
+			}
+		}
+	}
+}
+
+func poolSolve(t *testing.T, pool *enginepool.Pool, engine string, cfg solver.Config, f *Formula) Result {
+	t.Helper()
+	lease, err := pool.Acquire(engine, cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	r, err := lease.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func registrySolve(t *testing.T, engine string, cfg solver.Config, f *Formula) Result {
+	t.Helper()
+	s, err := NewWith(engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Solve(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -92,6 +92,32 @@ type mcSolver struct {
 	cfg solver.Config
 	mu  sync.Mutex
 	eng *Engine
+	// resetFor notes that Reset already re-targeted eng at this exact
+	// formula, so the next Solve can skip the duplicate re-target (the
+	// engine lease pool resets on Acquire, then calls Solve with the
+	// same formula; re-deriving the streams twice would be pure waste).
+	resetFor *cnf.Formula
+}
+
+// Reset implements solver.Reusable: it re-targets the warm engine at f
+// ahead of the next Solve and reports whether the (n, m) geometry let
+// the per-worker banks and buffers survive. An invalid formula drops
+// the engine and reports cold — Solve will surface the actual error.
+func (s *mcSolver) Reset(f *cnf.Formula) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetFor = nil
+	if s.eng == nil {
+		return false
+	}
+	old := s.eng.Formula()
+	warm := f.NumVars == old.NumVars && f.NumClauses() == old.NumClauses()
+	if err := s.eng.Reset(f); err != nil {
+		s.eng = nil
+		return false
+	}
+	s.resetFor = f
+	return warm
 }
 
 func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
@@ -102,9 +128,13 @@ func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 		return solver.Result{}, err
 	}
 	eng := s.eng
+	alreadyReset := s.resetFor == f
+	s.resetFor = nil
 	if eng != nil {
-		if err := eng.Reset(f); err != nil {
-			return solver.Result{}, err
+		if !alreadyReset {
+			if err := eng.Reset(f); err != nil {
+				return solver.Result{}, err
+			}
 		}
 	} else {
 		eng, err = NewEngine(f, Options{

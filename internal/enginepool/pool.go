@@ -1,0 +1,248 @@
+// Package enginepool is the engine lease pool: the first-class
+// lifecycle for warm solver instances that PR 4 prototyped as a
+// per-worker trick inside nblserve.
+//
+// Why a pool, and why here: the noise-based-logic engines pay a large
+// fixed cost per construction — 2·n·m xoshiro generators per worker
+// bank, evaluator scratch, block buffers — that is pure overhead when
+// an instance lives and dies with one Solve. core.Engine.Reset (and
+// now rtw/sbl Reset) showed the state can be re-targeted at a new
+// formula of the same (n, m) geometry for free, with results
+// bit-identical to a cold construction. The pool turns that primitive
+// into an architecture every layer shares: pipeline component fan-out,
+// portfolio members, and service workers all lease instead of build,
+// so any repeated-geometry traffic anywhere in the process warms up.
+//
+// Lease lifecycle (the state machine documented in DESIGN.md):
+//
+//	Acquire(expr, cfg, f)
+//	   ├─ idle instance under (expr, cfg.Key(), n, m) → pop, Reset(f)
+//	   │     ├─ Reset true  → WARM HIT   (banks/buffers reused)
+//	   │     └─ Reset false → COLD MISS  (state dropped; still sound)
+//	   └─ none → solver.NewWith(expr, cfg) → COLD MISS
+//	... exclusive use: Lease.Solve ...
+//	Release
+//	   ├─ solver implements solver.Reusable → back to idle (LRU refresh)
+//	   │     └─ idle > capacity → evict least recently released
+//	   └─ not reusable (stateless search engines) → dropped
+//
+// Correctness: a lease is exclusive — an instance is either idle in
+// the pool or held by exactly one caller, never both — and Reset
+// restores fresh-construction state (mc restarts checkSeq, rtw reseeds
+// its bank, sbl rewinds its carriers), so a warm Solve returns
+// bit-for-bit the Result a cold instance would. The conformance suite
+// asserts this for every pooled engine and meta-expression. Capacity
+// bounds only idle instances, so Acquire never blocks: concurrent
+// demand beyond the cap simply constructs cold.
+//
+// Known tradeoff: meta shells (pre(...), portfolio) are Reusable but
+// hold no geometry-sized state — their warmth lives in the inner
+// engines they lease — yet they occupy one idle slot per (expression,
+// config, geometry) class like everything else, and their reuse counts
+// in the warm-hit counter. The slots are near-free in bytes but do
+// compete with bank-pinning engines under the count-based capacity;
+// keying shells geometry-free (one instance serving every (n, m)) is
+// the named next lever in ROADMAP.
+package enginepool
+
+import (
+	"container/list"
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// DefaultCapacity bounds the shared Default pool. Each warm mc entry
+// pins per-worker banks and block scratch sized by its geometry
+// (~2 MiB at SATLIB scale with the cache-aware block size), so the cap
+// is a memory bound as much as an LRU tuning knob.
+const DefaultCapacity = 32
+
+// Default is the process-wide pool every layer leases from: pipeline
+// component fan-out, portfolio members, and the nblserve workers. One
+// shared pool is the point — a pre(mc) solve on a service worker warms
+// the same mc instances a bare-mc portfolio member will lease next.
+var Default = New(DefaultCapacity)
+
+// key identifies a reuse class: instances are interchangeable exactly
+// when they were built from the same engine expression and Config and
+// target the same (n, m) geometry (bank and scratch shapes are pure
+// functions of these).
+type key struct {
+	expr, cfg string
+	n, m      int
+}
+
+// entry is one idle pooled instance.
+type entry struct {
+	key key
+	s   solver.Solver
+	el  *list.Element // position in the pool's LRU list
+}
+
+// Pool is a concurrency-safe lease pool over the solver registry.
+type Pool struct {
+	mu   sync.Mutex
+	cap  int
+	idle map[key][]*entry // per-key stack; newest released at the top
+	lru  *list.List       // *entry; front = least recently released
+	size int              // total idle entries across keys
+
+	hits, misses, evictions int64
+}
+
+// New returns a pool keeping up to capacity idle instances (capacity
+// <= 0 disables pooling: every Acquire constructs, every Release
+// drops).
+func New(capacity int) *Pool {
+	return &Pool{cap: capacity, idle: make(map[key][]*entry), lru: list.New()}
+}
+
+// Lease is an exclusively held solver instance, bound to the formula
+// it was acquired (and Reset) for. Release it when the solve finishes
+// — leases are not reentrant and must not be shared.
+type Lease struct {
+	pool     *Pool
+	key      key
+	s        solver.Solver
+	f        *cnf.Formula
+	warm     bool
+	released bool
+}
+
+// Acquire leases a solver for expr/cfg targeting formula f. An idle
+// instance of the same (expr, cfg, geometry) class is reset and
+// returned warm; otherwise a fresh instance is constructed (any
+// registry error surfaces here, exactly as solver.NewWith would).
+func (p *Pool) Acquire(expr string, cfg solver.Config, f *cnf.Formula) (*Lease, error) {
+	k := key{expr: expr, cfg: cfg.Key(), n: f.NumVars, m: f.NumClauses()}
+
+	p.mu.Lock()
+	var e *entry
+	if stack := p.idle[k]; len(stack) > 0 {
+		e = stack[len(stack)-1]
+		p.idle[k] = stack[:len(stack)-1]
+		if len(p.idle[k]) == 0 {
+			delete(p.idle, k)
+		}
+		p.lru.Remove(e.el)
+		p.size--
+	}
+	p.mu.Unlock()
+
+	if e != nil {
+		// Reset outside the pool lock: it can touch n·m-sized state.
+		warm := e.s.(solver.Reusable).Reset(f)
+		p.mu.Lock()
+		if warm {
+			p.hits++
+		} else {
+			p.misses++
+		}
+		p.mu.Unlock()
+		return &Lease{pool: p, key: k, s: e.s, f: f, warm: warm}, nil
+	}
+
+	s, err := solver.NewWith(expr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.misses++
+	p.mu.Unlock()
+	return &Lease{pool: p, key: k, s: s, f: f}, nil
+}
+
+// Solve runs the leased solver on the formula the lease was acquired
+// for. Taking no formula parameter is deliberate: the pool key and the
+// Reset that warmed the instance both describe Acquire's formula, so
+// solving anything else would file the instance under a lying key.
+func (l *Lease) Solve(ctx context.Context) (solver.Result, error) {
+	return l.s.Solve(ctx, l.f)
+}
+
+// Warm reports whether this lease reused pooled warm state.
+func (l *Lease) Warm() bool { return l.warm }
+
+// Release returns the instance to the pool (reusable solvers) or drops
+// it (stateless ones). Idempotent; the lease must not be used after.
+func (l *Lease) Release() {
+	if l.released {
+		return
+	}
+	l.released = true
+	l.pool.release(l)
+}
+
+func (p *Pool) release(l *Lease) {
+	if _, ok := l.s.(solver.Reusable); !ok || p.cap <= 0 {
+		return // nothing worth pooling; let it be collected
+	}
+	e := &entry{key: l.key, s: l.s}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e.el = p.lru.PushBack(e)
+	p.idle[l.key] = append(p.idle[l.key], e)
+	p.size++
+	for p.size > p.cap {
+		front := p.lru.Front()
+		p.lru.Remove(front)
+		old := front.Value.(*entry)
+		stack := p.idle[old.key]
+		for i, cand := range stack {
+			if cand == old {
+				p.idle[old.key] = append(stack[:i], stack[i+1:]...)
+				break
+			}
+		}
+		if len(p.idle[old.key]) == 0 {
+			delete(p.idle, old.key)
+		}
+		p.size--
+		p.evictions++
+	}
+}
+
+// Stats is a point-in-time snapshot of the pool counters.
+type Stats struct {
+	// Hits counts Acquires served by an idle instance whose warm state
+	// survived Reset; Misses counts cold constructions (no idle
+	// instance, a geometry-dropped Reset, or a non-reusable engine).
+	Hits, Misses int64
+	// Evictions counts idle instances dropped by the LRU capacity bound.
+	Evictions int64
+	// Size and Capacity describe the idle set.
+	Size, Capacity int
+	// Occupancy maps engine expression -> idle instances. Cardinality
+	// is bounded by Size (<= Capacity), so exposing it as metric labels
+	// is safe.
+	Occupancy map[string]int
+}
+
+// Stats returns the current counters and per-expression occupancy.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	occ := make(map[string]int)
+	for k, stack := range p.idle {
+		occ[k.expr] += len(stack)
+	}
+	return Stats{
+		Hits: p.hits, Misses: p.misses, Evictions: p.evictions,
+		Size: p.size, Capacity: p.cap, Occupancy: occ,
+	}
+}
+
+// Expressions returns the sorted engine expressions with idle
+// instances (a stable iteration order for metrics rendering).
+func (s Stats) Expressions() []string {
+	out := make([]string, 0, len(s.Occupancy))
+	for e := range s.Occupancy {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}

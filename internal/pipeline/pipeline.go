@@ -45,6 +45,7 @@ import (
 	"sync"
 
 	"repro/internal/cnf"
+	"repro/internal/enginepool"
 	"repro/internal/simplify"
 	"repro/internal/solver"
 )
@@ -66,8 +67,11 @@ type Pipeline struct {
 }
 
 // New validates the inner engine expression and returns the pipeline.
-// Every component solve constructs a fresh inner engine from cfg, so
-// stateful engines never share between components.
+// Every component solve leases its inner engine from the shared engine
+// pool (enginepool.Default): leases are exclusive, so stateful engines
+// never share between concurrent components, while components of a
+// repeated geometry — across solves, or across requests in a resident
+// service — reuse warm instances instead of rebuilding noise banks.
 func New(inner string, cfg solver.Config) (*Pipeline, error) {
 	if inner == "" {
 		return nil, fmt.Errorf("pipeline: pre() needs an inner engine, e.g. pre(mc)")
@@ -78,6 +82,11 @@ func New(inner string, cfg solver.Config) (*Pipeline, error) {
 	}
 	return &Pipeline{inner: inner, cfg: cfg}, nil
 }
+
+// Reset implements solver.Reusable. The pipeline itself holds no
+// per-formula state — its warmth lives in the inner engines it leases
+// from the pool — so any instance is reusable as-is for any formula.
+func (p *Pipeline) Reset(f *cnf.Formula) bool { return true }
 
 // Solve implements solver.Solver.
 func (p *Pipeline) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
@@ -112,9 +121,11 @@ func (p *Pipeline) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 		}
 	}
 
-	// Fan the components out across fresh inner engines sharing ctx.
-	// One UNSAT component decides the conjunction, so it cancels the
-	// rest through compCtx.
+	// Fan the components out across leased inner engines sharing ctx.
+	// Leases are exclusive for the duration of the component solve and
+	// released as each component finishes, so same-geometry components
+	// warm each other across solves. One UNSAT component decides the
+	// conjunction, so it cancels the rest through compCtx.
 	compCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -125,19 +136,20 @@ func (p *Pipeline) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 	results := make([]slot, len(comps))
 	var wg sync.WaitGroup
 	for i, comp := range comps {
-		s, err := solver.NewWith(p.inner, p.cfg)
+		lease, err := enginepool.Default.Acquire(p.inner, p.cfg, comp.F)
 		if err != nil {
 			return out, err
 		}
 		wg.Add(1)
-		go func(i int, comp *simplify.Component, s solver.Solver) {
+		go func(i int, comp *simplify.Component, lease *enginepool.Lease) {
 			defer wg.Done()
-			r, err := s.Solve(compCtx, comp.F)
+			r, err := lease.Solve(compCtx)
+			lease.Release()
 			results[i] = slot{r, err}
 			if err == nil && r.Status == solver.StatusUnsat {
 				cancel()
 			}
-		}(i, comp, s)
+		}(i, comp, lease)
 	}
 	wg.Wait()
 

@@ -147,25 +147,39 @@ func TestParentCancellationPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The random blocks survive preprocessing and the stub parks on
-	// them until the parent deadline fires mid-component.
+	// them until the parent context is cancelled mid-component. The
+	// cancel fires only after both components are confirmed parked, so
+	// the test never races preprocessing against a wall-clock deadline
+	// (under -race, preprocessing alone can outlast any tight timeout).
 	f := survivingUnion()
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	base := stubBlockedStarted.Load()
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
 		_, err := p.Solve(ctx, f)
 		done <- err
 	}()
+	guard := time.After(10 * time.Second)
+	for stubBlockedStarted.Load() < base+2 {
+		select {
+		case err := <-done:
+			t.Fatalf("solve returned before both components fanned out: %v", err)
+		case <-guard:
+			t.Fatalf("components never reached the stub (saw %d)",
+				stubBlockedStarted.Load()-base)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
 	select {
 	case err := <-done:
-		if !errors.Is(err, context.DeadlineExceeded) {
-			t.Errorf("err = %v, want DeadlineExceeded", err)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want Canceled", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("pipeline ignored parent cancellation")
-	}
-	if n := stubBlockedStarted.Load(); n < 2 {
-		t.Errorf("expected both components to fan out, saw %d stub solves", n)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/cnf"
+	"repro/internal/enginepool"
 	"repro/internal/solver"
 )
 
@@ -39,10 +40,17 @@ type Portfolio struct {
 
 // New returns a portfolio over cfg.Members (DefaultMembers when empty).
 // Every member inherits cfg, so one Config seeds and budgets the whole
-// lineup.
+// lineup. Members are leased from the shared engine pool per race, so
+// repeated races on a stable geometry reuse warm noise banks instead
+// of rebuilding them.
 func New(cfg solver.Config) *Portfolio {
 	return &Portfolio{cfg: cfg}
 }
+
+// Reset implements solver.Reusable. The portfolio holds no per-formula
+// state — warmth lives in the member engines it leases from the pool —
+// so any instance is reusable as-is for any formula.
+func (p *Portfolio) Reset(f *cnf.Formula) bool { return true }
 
 // Solve implements solver.Solver. The first member to return a
 // definitive Status wins: its Result is returned with Engine naming the
@@ -57,16 +65,18 @@ func (p *Portfolio) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 	if len(members) == 0 {
 		members = DefaultMembers
 	}
-	solvers := make([]solver.Solver, len(members))
+	leases := make([]*enginepool.Lease, len(members))
 	for i, name := range members {
 		if name == "portfolio" {
+			releaseAll(leases[:i])
 			return solver.Result{}, fmt.Errorf("portfolio: cannot nest itself as a member")
 		}
-		s, err := solver.NewWith(name, p.cfg)
+		l, err := enginepool.Default.Acquire(name, p.cfg, f)
 		if err != nil {
+			releaseAll(leases[:i])
 			return solver.Result{}, err
 		}
-		solvers[i] = s
+		leases[i] = l
 	}
 
 	raceCtx, cancel := context.WithCancel(ctx)
@@ -76,12 +86,13 @@ func (p *Portfolio) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 		r   solver.Result
 		err error
 	}
-	results := make(chan outcome, len(solvers))
-	for _, s := range solvers {
-		go func(s solver.Solver) {
-			r, err := s.Solve(raceCtx, f)
+	results := make(chan outcome, len(leases))
+	for _, l := range leases {
+		go func(l *enginepool.Lease) {
+			r, err := l.Solve(raceCtx)
+			l.Release()
 			results <- outcome{r, err}
-		}(s)
+		}(l)
 	}
 
 	var (
@@ -93,8 +104,9 @@ func (p *Portfolio) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 	)
 	// Collect every member before returning: after cancel() the losers
 	// abort within one hot-loop poll, so this wait is bounded and leaves
-	// no goroutine running past Solve.
-	for range solvers {
+	// no goroutine running past Solve (each goroutine releases its lease
+	// after its member's Solve returns, so no lease outlives the race).
+	for range leases {
 		o := <-results
 		if !won && o.err == nil && o.r.Status.Definitive() {
 			winner, won = o, true
@@ -132,4 +144,13 @@ func (p *Portfolio) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 		return solver.Result{Status: solver.StatusUnknown, Stats: agg}, nil
 	}
 	return solver.Result{Stats: agg}, memberErr
+}
+
+// releaseAll returns already-acquired leases on an aborted construction.
+func releaseAll(leases []*enginepool.Lease) {
+	for _, l := range leases {
+		if l != nil {
+			l.Release()
+		}
+	}
 }

@@ -2,6 +2,7 @@ package rtw
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/cnf"
 	"repro/internal/core"
@@ -10,25 +11,75 @@ import (
 
 func init() {
 	solver.Register("rtw", func(cfg solver.Config) solver.Solver {
-		return solver.Func(func(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
-			if cfg.FindModel {
-				return solver.Result{}, solver.ErrNoModelRecovery("rtw")
-			}
-			eng, err := New(f, cfg.Seed)
-			if err != nil {
+		return &rtwSolver{cfg: cfg}
+	})
+}
+
+// rtwSolver adapts the telegraph-wave engine to the registry. Like the
+// Monte-Carlo adapter it is warm: the constructed Engine persists
+// across Solve calls, and Engine.Reset reuses the bank and scratch
+// whenever the (n, m) geometry repeats. Reset reseeds the bank to its
+// construction streams, so a warm Solve is result-identical to a cold
+// one. The mutex serializes a shared instance; parallel callers (the
+// portfolio, the lease pool) hold one instance per goroutine.
+type rtwSolver struct {
+	cfg solver.Config
+	mu  sync.Mutex
+	eng *Engine
+	// resetFor skips the duplicate Solve-time re-target after a pool
+	// Acquire already Reset for the same formula (see the mc adapter).
+	resetFor *cnf.Formula
+}
+
+// Reset implements solver.Reusable; see the mc adapter for the
+// contract. Cold is reported when no engine exists yet, the geometry
+// changed, or the new formula is rejected (Solve surfaces the error).
+func (s *rtwSolver) Reset(f *cnf.Formula) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetFor = nil
+	if s.eng == nil {
+		return false
+	}
+	warm := f.NumVars == s.eng.n && f.NumClauses() == s.eng.m
+	if err := s.eng.Reset(f); err != nil {
+		s.eng = nil
+		return false
+	}
+	s.resetFor = f
+	return warm
+}
+
+func (s *rtwSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.FindModel {
+		return solver.Result{}, solver.ErrNoModelRecovery("rtw")
+	}
+	alreadyReset := s.resetFor == f
+	s.resetFor = nil
+	if s.eng != nil {
+		if !alreadyReset {
+			if err := s.eng.Reset(f); err != nil {
 				return solver.Result{}, err
 			}
-			r, err := eng.CheckCtx(ctx, cfg.MaxSamples, cfg.Theta)
-			out := solver.Result{
-				Stats: solver.Stats{Samples: r.Samples, Mean: r.Mean, StdErr: r.StdErr},
-			}
-			if err != nil {
-				return out, err
-			}
-			// The shared SNR gate is conservative for RTW, whose ±1
-			// carriers need fewer samples than uniform sources.
-			out.Status = core.CheckStatus(r.Satisfiable, f.NumVars, f.NumClauses(), r.Samples)
-			return out, nil
-		})
-	})
+		}
+	} else {
+		eng, err := New(f, s.cfg.Seed)
+		if err != nil {
+			return solver.Result{}, err
+		}
+		s.eng = eng
+	}
+	r, err := s.eng.CheckCtx(ctx, s.cfg.MaxSamples, s.cfg.Theta)
+	out := solver.Result{
+		Stats: solver.Stats{Samples: r.Samples, Mean: r.Mean, StdErr: r.StdErr},
+	}
+	if err != nil {
+		return out, err
+	}
+	// The shared SNR gate is conservative for RTW, whose ±1 carriers
+	// need fewer samples than uniform sources.
+	out.Status = core.CheckStatus(r.Satisfiable, f.NumVars, f.NumClauses(), r.Samples)
+	return out, nil
 }

@@ -26,6 +26,7 @@ import (
 type Engine struct {
 	f    *cnf.Formula
 	bank *noise.Bank
+	seed uint64
 	n, m int
 
 	// wide selects the arbitrary-precision kernel: the instance's
@@ -77,16 +78,13 @@ func New(f *cnf.Formula, seed uint64) (*Engine, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
-	bitsNeeded := n // tau bound: 2^n
-	for _, c := range f.Clauses {
-		if len(c) == 0 {
-			return nil, fmt.Errorf("rtw: empty clause")
-		}
-		bitsNeeded += bits.Len(uint(len(c))) + n - 1 // |Z_j| <= k_j·2^(n-1)
+	bitsNeeded, err := widthBits(f)
+	if err != nil {
+		return nil, err
 	}
 	nm := n * m
 	return &Engine{
-		f: f, bank: noise.NewBank(noise.RTW, seed, n, m), n: n, m: m,
+		f: f, bank: noise.NewBank(noise.RTW, seed, n, m), seed: seed, n: n, m: m,
 		wide:  bitsNeeded > 62,
 		bound: cnf.NewAssignment(n),
 		// 32 bytes per source cell: the block kernel keeps float64 fill
@@ -97,6 +95,59 @@ func New(f *cnf.Formula, seed uint64) (*Engine, error) {
 		prodP: make([]int64, n), prodN: make([]int64, n),
 		pre: make([]int64, n+1), suf: make([]int64, n+1),
 	}, nil
+}
+
+// Reset re-targets the engine at a new formula, restoring fresh-engine
+// state: the bank is reseeded to its construction streams, bindings are
+// cleared, and the wide/int64 kernel choice is recomputed from the new
+// clause widths (the overflow bound depends on clause sizes, not just
+// (n, m)). A Reset engine is result-identical to New(f, seed) — the
+// warm-path contract the engine lease pool relies on. When the (n, m)
+// geometry matches, the 2·n·m-generator bank and every scratch buffer
+// are kept; otherwise the engine is rebuilt in place.
+func (e *Engine) Reset(f *cnf.Formula) error {
+	n, m := f.NumVars, f.NumClauses()
+	if n != e.n || m != e.m {
+		fresh, err := New(f, e.seed)
+		if err != nil {
+			return err
+		}
+		*e = *fresh
+		return nil
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	bitsNeeded, err := widthBits(f)
+	if err != nil {
+		return err
+	}
+	e.f = f
+	e.wide = bitsNeeded > 62
+	for v := range e.bound {
+		e.bound[v] = cnf.Unassigned
+	}
+	// The moment accumulators (wsc) and block scratch need no clearing:
+	// every check zeroes or overwrites them before reading.
+	e.bank.Reseed(e.seed)
+	return nil
+}
+
+// widthBits returns the worst-case |S_N| bit bound for f: the tau
+// bound 2^n plus |Z_j| <= k_j·2^(n-1) per clause. It rejects empty
+// clauses (the kernels assume none). New and Reset share it, so a warm
+// re-target always picks the same int64/wide kernel a cold
+// construction would.
+func widthBits(f *cnf.Formula) (int, error) {
+	n := f.NumVars
+	bitsNeeded := n
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return 0, fmt.Errorf("rtw: empty clause")
+		}
+		bitsNeeded += bits.Len(uint(len(c))) + n - 1
+	}
+	return bitsNeeded, nil
 }
 
 // Wide reports whether the engine runs the arbitrary-precision kernel

@@ -3,6 +3,7 @@ package sbl
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/cnf"
 	"repro/internal/solver"
@@ -10,44 +11,99 @@ import (
 
 func init() {
 	solver.Register("sbl", func(cfg solver.Config) solver.Solver {
-		return solver.Func(func(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
-			if cfg.FindModel {
-				return solver.Result{}, solver.ErrNoModelRecovery("sbl")
-			}
-			var alloc Allocation
-			switch cfg.Allocation {
-			case "", "geometric4":
-				alloc = Geometric4
-			case "linear":
-				alloc = Linear
-			default:
-				return solver.Result{}, fmt.Errorf(
-					"sbl: unknown allocation %q (want geometric4|linear)", cfg.Allocation)
-			}
-			eng, err := New(f, Options{Alloc: alloc, MaxSamples: cfg.MaxSamples})
-			if err != nil {
+		return &sblSolver{cfg: cfg}
+	})
+}
+
+// sblSolver adapts the sinusoid-carrier engine to the registry. It is
+// warm: the constructed Engine persists across Solve calls, and
+// Engine.Reset keeps the carrier bank whenever the (n, m) geometry
+// repeats (the carriers rewind to t = 0, so a warm Solve is
+// result-identical to a cold one). The mutex serializes a shared
+// instance; parallel callers hold one instance per goroutine.
+type sblSolver struct {
+	cfg solver.Config
+	mu  sync.Mutex
+	eng *Engine
+	// resetFor skips the duplicate Solve-time re-target after a pool
+	// Acquire already Reset for the same formula (see the mc adapter).
+	resetFor *cnf.Formula
+}
+
+// Reset implements solver.Reusable; see the mc adapter for the
+// contract. Cold is reported when no engine exists yet, the geometry
+// changed, or the rebuild is rejected (Solve surfaces the error).
+func (s *sblSolver) Reset(f *cnf.Formula) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetFor = nil
+	if s.eng == nil {
+		return false
+	}
+	warm := f.NumVars == s.eng.bank.n && f.NumClauses() == s.eng.bank.m
+	if err := s.eng.Reset(f); err != nil {
+		s.eng = nil
+		return false
+	}
+	s.resetFor = f
+	return warm
+}
+
+func (s *sblSolver) alloc() (Allocation, error) {
+	switch s.cfg.Allocation {
+	case "", "geometric4":
+		return Geometric4, nil
+	case "linear":
+		return Linear, nil
+	default:
+		return 0, fmt.Errorf(
+			"sbl: unknown allocation %q (want geometric4|linear)", s.cfg.Allocation)
+	}
+}
+
+func (s *sblSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.FindModel {
+		return solver.Result{}, solver.ErrNoModelRecovery("sbl")
+	}
+	alreadyReset := s.resetFor == f
+	s.resetFor = nil
+	if s.eng != nil {
+		if !alreadyReset {
+			if err := s.eng.Reset(f); err != nil {
 				return solver.Result{}, err
 			}
-			r, err := eng.CheckCtx(ctx)
-			out := solver.Result{
-				Stats: solver.Stats{Samples: r.Samples, Mean: r.Mean},
-			}
-			if err != nil {
-				return out, err
-			}
-			// The DC read-out is exact only over the carriers' full common
-			// period; a truncated window carries spectral leakage that can
-			// flip the decision, so it is reported as UNKNOWN rather than
-			// a verdict (matching how the integration suite treats SBL).
-			if !r.FullPeriod {
-				return out, nil
-			}
-			if r.Satisfiable {
-				out.Status = solver.StatusSat
-			} else {
-				out.Status = solver.StatusUnsat
-			}
-			return out, nil
-		})
-	})
+		}
+	} else {
+		alloc, err := s.alloc()
+		if err != nil {
+			return solver.Result{}, err
+		}
+		eng, err := New(f, Options{Alloc: alloc, MaxSamples: s.cfg.MaxSamples})
+		if err != nil {
+			return solver.Result{}, err
+		}
+		s.eng = eng
+	}
+	r, err := s.eng.CheckCtx(ctx)
+	out := solver.Result{
+		Stats: solver.Stats{Samples: r.Samples, Mean: r.Mean},
+	}
+	if err != nil {
+		return out, err
+	}
+	// The DC read-out is exact only over the carriers' full common
+	// period; a truncated window carries spectral leakage that can
+	// flip the decision, so it is reported as UNKNOWN rather than
+	// a verdict (matching how the integration suite treats SBL).
+	if !r.FullPeriod {
+		return out, nil
+	}
+	if r.Satisfiable {
+		out.Status = solver.StatusSat
+	} else {
+		out.Status = solver.StatusUnsat
+	}
+	return out, nil
 }

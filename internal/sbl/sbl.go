@@ -274,5 +274,28 @@ func (e *Engine) CheckCtx(ctx context.Context) (Result, error) {
 	}, nil
 }
 
-// Reset rewinds the carriers to t = 0 for a fresh observation.
-func (e *Engine) Reset() { e.bank.t = 0 }
+// Reset re-targets the engine at a new formula, restoring fresh-engine
+// state: the carriers rewind to t = 0, so a Reset engine is
+// result-identical to New(f, opts) — the warm-path contract the engine
+// lease pool relies on. When the (n, m) geometry matches, the carrier
+// bank is kept verbatim (cycles and period depend only on 2·n·m and
+// the allocation) and the evaluator re-targets in place; otherwise the
+// engine is rebuilt, which can fail if the new geometry exceeds the
+// allocator's bandwidth (same rule as New).
+func (e *Engine) Reset(f *cnf.Formula) error {
+	if f.NumVars != e.bank.n || f.NumClauses() != e.bank.m {
+		fresh, err := New(f, e.opts)
+		if err != nil {
+			return err
+		}
+		*e = *fresh
+		return nil
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	e.f = f
+	e.ev.Reset(f)
+	e.bank.t = 0
+	return nil
+}

@@ -121,10 +121,36 @@ func TestResetRewinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := e.Check()
-	e.Reset()
+	if err := e.Reset(gen.PaperExample7()); err != nil {
+		t.Fatal(err)
+	}
 	b := e.Check()
 	if a.Mean != b.Mean {
 		t.Errorf("Reset did not reproduce the run: %v vs %v", a.Mean, b.Mean)
+	}
+	// Re-target across a geometry change: the engine must rebuild and
+	// behave exactly like a fresh construction.
+	if err := e.Reset(gen.PaperSAT()); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.Check()
+	fresh, err := New(gen.PaperSAT(), Options{Alloc: Geometric4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold := fresh.Check(); warm != cold {
+		t.Errorf("geometry-change Reset diverged from fresh: %+v vs %+v", warm, cold)
+	}
+	// A rebuild that violates the allocator's bandwidth must fail and
+	// leave the engine usable for a later (valid) Reset.
+	if err := e.Reset(gen.Pigeonhole(3)); err == nil {
+		t.Error("oversized geometric allocation accepted by Reset")
+	}
+	if err := e.Reset(gen.PaperSAT()); err != nil {
+		t.Fatal(err)
+	}
+	if again := e.Check(); again != warm {
+		t.Errorf("engine unusable after rejected Reset: %+v vs %+v", again, warm)
 	}
 }
 

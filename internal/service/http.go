@@ -1,6 +1,7 @@
 // HTTP surface of the solve service. Endpoints:
 //
 //	POST   /solve          DIMACS body -> job (async by default; ?sync=1 waits)
+//	POST   /solve/batch    many DIMACS instances in one body -> array of jobs
 //	GET    /jobs           list job snapshots
 //	GET    /jobs/{id}      one snapshot; ?wait=2s long-polls for completion
 //	GET    /jobs/{id}/events  SSE stream of progress snapshots until terminal
@@ -8,23 +9,38 @@
 //	GET    /metrics        Prometheus text exposition
 //	GET    /healthz        liveness + basic gauges
 //
-// POST /solve query parameters: engine (registry expression, e.g.
-// pre(mc)), seed, samples, theta, workers, family, alloc, flips,
-// restarts, noise, candidates, members (comma lineup), model=1 (model
-// recovery), timeout (Go duration), sync=1.
+// POST /solve and /solve/batch query parameters: engine (registry
+// expression, e.g. pre(mc)), seed, samples, theta, workers, family,
+// alloc, flips, restarts, noise, candidates, members (comma lineup),
+// model=1 (model recovery), timeout (Go duration), sync=1 (/solve
+// only).
+//
+// A /solve/batch body is a concatenation of DIMACS documents: each
+// "p cnf" problem line starts a new instance, and the SATLIB "%"
+// trailer ends one. Every instance fans out through the job manager
+// under the shared query parameters; the response is an array with one
+// entry per instance, each carrying either the submitted job or that
+// instance's own error with the status code a single /solve would have
+// returned (400 for a parse failure, 503 for a full queue — per
+// instance, so one full-queue rejection does not waste the instances
+// already admitted).
 package service
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/dimacs"
+	"repro/internal/enginepool"
 	"repro/internal/solver"
 )
 
@@ -41,6 +57,7 @@ const maxSolveWorkers = 64
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
@@ -106,8 +123,9 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+// parseSubmitOptions builds the SubmitOptions shared by /solve and
+// /solve/batch from the request query.
+func parseSubmitOptions(q url.Values) (SubmitOptions, error) {
 	opts := SubmitOptions{Engine: q.Get("engine")}
 
 	// Numeric knobs are client-controlled; negatives are rejected here
@@ -179,18 +197,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if tv := q.Get("timeout"); tv != "" {
 		d, err := time.ParseDuration(tv)
 		if err != nil || d < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q", tv))
-			return
+			return opts, fmt.Errorf("bad timeout %q", tv)
 		}
 		opts.Timeout = d
 	}
 	if parseErr != nil {
-		writeError(w, http.StatusBadRequest, parseErr)
-		return
+		return opts, parseErr
 	}
 	if opts.Solver.Workers > maxSolveWorkers {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("workers %d exceeds the per-job cap %d", opts.Solver.Workers, maxSolveWorkers))
+		return opts, fmt.Errorf(
+			"workers %d exceeds the per-job cap %d", opts.Solver.Workers, maxSolveWorkers)
+	}
+	return opts, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts, err := parseSubmitOptions(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -209,16 +234,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job, err := s.Submit(f, opts)
-	switch {
-	case err == nil:
-	case err == ErrQueueFull:
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case err == ErrShuttingDown:
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	default:
-		writeError(w, http.StatusBadRequest, err)
+	if err != nil {
+		writeError(w, submitErrorCode(err), err)
 		return
 	}
 
@@ -235,6 +252,141 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, snapshotJSON(job.Snapshot()))
+}
+
+// submitErrorCode maps a Submit failure onto the HTTP status a single
+// /solve would answer with; /solve/batch reuses it per instance.
+func submitErrorCode(err error) int {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// maxBatchInstances bounds one batch submission; anything larger than
+// the queue depth could never be admitted whole anyway.
+const maxBatchInstances = 256
+
+// batchItemJSON is one instance's outcome in a /solve/batch response:
+// either the submitted job (its id is what the client polls) or the
+// instance's own error with the status code a single /solve would have
+// returned.
+type batchItemJSON struct {
+	Index int      `json:"index"`
+	Job   *jobJSON `json:"job,omitempty"`
+	Error string   `json:"error,omitempty"`
+	Code  int      `json:"code,omitempty"`
+}
+
+// handleSolveBatch fans one multi-instance DIMACS body out through the
+// job manager. Instances are admitted independently: a parse failure
+// or full queue marks its own entry and the rest proceed, so the
+// response array always lines up index-for-index with the instances in
+// the body. The response status is 202 as soon as any instance was
+// admitted, otherwise the first failure's code.
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	opts, err := parseSubmitOptions(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	chunks, err := splitDIMACSBatch(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch exceeds the %d-byte body limit", maxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(chunks) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch carries no DIMACS instances"))
+		return
+	}
+	if len(chunks) > maxBatchInstances {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch carries %d instances, cap is %d", len(chunks), maxBatchInstances))
+		return
+	}
+
+	items := make([]batchItemJSON, len(chunks))
+	accepted := 0
+	for i, chunk := range chunks {
+		items[i].Index = i
+		f, err := dimacs.ReadString(chunk)
+		if err != nil {
+			items[i].Error = err.Error()
+			items[i].Code = http.StatusBadRequest
+			continue
+		}
+		job, err := s.Submit(f, opts)
+		if err != nil {
+			items[i].Error = err.Error()
+			items[i].Code = submitErrorCode(err)
+			continue
+		}
+		jj := snapshotJSON(job.Snapshot())
+		items[i].Job = &jj
+		accepted++
+	}
+
+	code := http.StatusAccepted
+	if accepted == 0 {
+		for _, it := range items {
+			if it.Code != 0 {
+				code = it.Code
+				break
+			}
+		}
+	}
+	writeJSON(w, code, items)
+}
+
+// splitDIMACSBatch cuts a concatenation of DIMACS documents into one
+// chunk per instance: a "p" problem line starts a new instance, a
+// SATLIB "%" trailer ends one (junk between a trailer and the next
+// problem line — the trailer's "0", blank lines — is dropped).
+// Comments before the first problem line attach to the first instance.
+func splitDIMACSBatch(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		chunks   []string
+		cur      strings.Builder
+		sawProb  bool
+		trailing bool // between a "%" trailer and the next problem line
+	)
+	flush := func() {
+		if cur.Len() > 0 {
+			chunks = append(chunks, cur.String())
+			cur.Reset()
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		t := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(t, "p"):
+			if sawProb {
+				flush()
+			}
+			sawProb = true
+			trailing = false
+		case strings.HasPrefix(t, "%"):
+			trailing = sawProb
+		case trailing:
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return chunks, nil
 }
 
 func boolParam(v string) bool {
@@ -345,10 +497,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	queued, running := s.Counts()
-	hits, misses, evictions, entries := s.cache.stats()
+	var g gauges
+	g.queued, g.running = s.Counts()
+	g.cacheHits, g.cacheMisses, g.cacheEvictions, g.cacheEntries = s.cache.stats()
+	g.pool = enginepool.Default.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, queued, running, hits, misses, evictions, entries)
+	s.met.write(w, g)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

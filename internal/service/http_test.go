@@ -222,6 +222,13 @@ func TestHTTPMetricsAndHealthz(t *testing.T) {
 		"nblserve_samples_per_second",
 		`nblserve_solve_duration_seconds_bucket{engine="pre(mc)",le="+Inf"} 1`,
 		`nblserve_solve_duration_seconds_count{engine="pre(mc)"} 1`,
+		// Engine lease pool counters (values are process-global — the
+		// Default pool is shared across tests — so presence only).
+		"nblserve_pool_warm_hits_total",
+		"nblserve_pool_cold_misses_total",
+		"nblserve_pool_evictions_total",
+		"nblserve_pool_capacity",
+		"nblserve_pool_size",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
@@ -273,5 +280,104 @@ func TestHTTPRejections(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("missing job: HTTP %d", resp.StatusCode)
+	}
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, query, body string) (int, []batchItemJSON) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/solve/batch?"+query, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var items []batchItemJSON
+	if resp.StatusCode < 400 {
+		if err := json.Unmarshal(data, &items); err != nil {
+			t.Fatalf("batch response %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode, items
+}
+
+// TestHTTPSolveBatch posts one body carrying both paper instances (one
+// in SATLIB trailer dialect, one plain) and follows every returned job
+// to its verdict.
+func TestHTTPSolveBatch(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 2})
+	code, items := postBatch(t, ts, "engine=pre(mc)&samples=400000", paperSATDIMACS+paperUNSATDIMACS)
+	if code != http.StatusAccepted {
+		t.Fatalf("batch: HTTP %d", code)
+	}
+	if len(items) != 2 {
+		t.Fatalf("batch: %d items, want 2", len(items))
+	}
+	want := []string{"SATISFIABLE", "UNSATISFIABLE"}
+	for i, item := range items {
+		if item.Index != i || item.Job == nil || item.Error != "" {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+		resp, err := http.Get(ts.URL + "/jobs/" + item.Job.ID + "?wait=10s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jj jobJSON
+		err = json.NewDecoder(resp.Body).Decode(&jj)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jj.State != StateDone || jj.Result == nil || jj.Result.Status.String() != want[i] {
+			t.Errorf("job %s: state %s result %+v, want %s", item.Job.ID, jj.State, jj.Result, want[i])
+		}
+	}
+}
+
+// TestHTTPSolveBatchPartialFailure pins the per-instance error
+// semantics: a malformed instance fails alone with its own 400 while
+// its batch mates proceed, and a batch with nothing admissible answers
+// with the first failure's code.
+func TestHTTPSolveBatchPartialFailure(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1})
+	garbage := "p cnf 2 1\n1 banana 0\n"
+
+	code, items := postBatch(t, ts, "engine=cdcl", paperSATDIMACS+garbage)
+	if code != http.StatusAccepted {
+		t.Fatalf("mixed batch: HTTP %d", code)
+	}
+	if len(items) != 2 {
+		t.Fatalf("mixed batch: %d items, want 2", len(items))
+	}
+	if items[0].Job == nil {
+		t.Errorf("good instance rejected: %+v", items[0])
+	}
+	if items[1].Job != nil || items[1].Code != http.StatusBadRequest {
+		t.Errorf("bad instance: %+v, want its own 400", items[1])
+	}
+
+	if code, _ := postBatch(t, ts, "engine=cdcl", garbage); code != http.StatusBadRequest {
+		t.Errorf("all-bad batch: HTTP %d, want 400", code)
+	}
+	if code, _ := postBatch(t, ts, "engine=cdcl", ""); code != http.StatusBadRequest {
+		t.Errorf("empty batch: HTTP %d, want 400", code)
+	}
+	if code, _ := postBatch(t, ts, "engine=no-such-engine", paperSATDIMACS); code != http.StatusBadRequest {
+		t.Errorf("bad engine: HTTP %d, want 400", code)
+	}
+}
+
+// TestHTTPSolveBatchShuttingDown pins the per-instance 503: after
+// intake stops every entry carries 503, and with nothing admitted the
+// batch itself answers 503 — matching what a single /solve returns.
+func TestHTTPSolveBatchShuttingDown(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, _ := postBatch(t, ts, "engine=cdcl", paperSATDIMACS+paperUNSATDIMACS)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("batch after shutdown: HTTP %d, want 503", code)
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/enginepool"
 )
 
 // metrics is the service's observability state, exposed in Prometheus
@@ -94,18 +96,29 @@ func (m *metrics) jobFinished(state string, engine string, samples int64, wall t
 	h.sum += s
 }
 
-// write emits the exposition document. Queue/running/cache gauges are
-// sampled by the caller (they live in the server and cache). The
-// document renders into a buffer under the mutex and hits the network
-// after release: every worker's finish() needs this lock, and a slow
-// scraper must not be able to stall the solve pool.
-func (m *metrics) write(out io.Writer, queued, running int64, hits, misses, evictions, entries int64) {
+// gauges carries the point-in-time values sampled outside the metrics
+// state at scrape time: the server's queue, the verdict cache, and the
+// engine lease pool.
+type gauges struct {
+	queued, running                                      int64
+	cacheHits, cacheMisses, cacheEvictions, cacheEntries int64
+	pool                                                 enginepool.Stats
+}
+
+// write emits the exposition document. Queue/running/cache/pool gauges
+// are sampled by the caller (they live in the server, cache, and
+// pool). The document renders into a buffer under the mutex and hits
+// the network after release: every worker's finish() needs this lock,
+// and a slow scraper must not be able to stall the solve pool.
+func (m *metrics) write(out io.Writer, g gauges) {
 	var buf bytes.Buffer
-	m.render(&buf, queued, running, hits, misses, evictions, entries)
+	m.render(&buf, g)
 	out.Write(buf.Bytes()) //nolint:errcheck // scraper gone; nothing to do
 }
 
-func (m *metrics) render(w *bytes.Buffer, queued, running int64, hits, misses, evictions, entries int64) {
+func (m *metrics) render(w *bytes.Buffer, g gauges) {
+	queued, running := g.queued, g.running
+	hits, misses, evictions, entries := g.cacheHits, g.cacheMisses, g.cacheEvictions, g.cacheEntries
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -161,6 +174,31 @@ func (m *metrics) render(w *bytes.Buffer, queued, running int64, hits, misses, e
 	fmt.Fprintln(w, "# HELP nblserve_cache_entries Live verdict-cache entries.")
 	fmt.Fprintln(w, "# TYPE nblserve_cache_entries gauge")
 	fmt.Fprintf(w, "nblserve_cache_entries %d\n", entries)
+
+	// Engine lease pool: the warm-hit economics of the shared engine
+	// lifecycle. Occupancy label cardinality is bounded by the pool's
+	// capacity (idle instances, each with one expression), so the
+	// per-expression series cannot grow without limit.
+	fmt.Fprintln(w, "# HELP nblserve_pool_warm_hits_total Engine leases served from the idle pool with warm state intact (banks/buffers for bare engines; the shell itself for meta expressions).")
+	fmt.Fprintln(w, "# TYPE nblserve_pool_warm_hits_total counter")
+	fmt.Fprintf(w, "nblserve_pool_warm_hits_total %d\n", g.pool.Hits)
+	fmt.Fprintln(w, "# HELP nblserve_pool_cold_misses_total Engine leases constructed cold.")
+	fmt.Fprintln(w, "# TYPE nblserve_pool_cold_misses_total counter")
+	fmt.Fprintf(w, "nblserve_pool_cold_misses_total %d\n", g.pool.Misses)
+	fmt.Fprintln(w, "# HELP nblserve_pool_evictions_total Idle engines dropped by the pool's LRU capacity bound.")
+	fmt.Fprintln(w, "# TYPE nblserve_pool_evictions_total counter")
+	fmt.Fprintf(w, "nblserve_pool_evictions_total %d\n", g.pool.Evictions)
+	fmt.Fprintln(w, "# HELP nblserve_pool_capacity Idle-instance capacity of the engine lease pool.")
+	fmt.Fprintln(w, "# TYPE nblserve_pool_capacity gauge")
+	fmt.Fprintf(w, "nblserve_pool_capacity %d\n", g.pool.Capacity)
+	fmt.Fprintln(w, "# HELP nblserve_pool_size Total idle (warm) engine instances in the pool.")
+	fmt.Fprintln(w, "# TYPE nblserve_pool_size gauge")
+	fmt.Fprintf(w, "nblserve_pool_size %d\n", g.pool.Size)
+	fmt.Fprintln(w, "# HELP nblserve_pool_idle Idle (warm) engine instances in the pool, by engine expression.")
+	fmt.Fprintln(w, "# TYPE nblserve_pool_idle gauge")
+	for _, expr := range g.pool.Expressions() {
+		fmt.Fprintf(w, "nblserve_pool_idle{engine=%q} %d\n", expr, g.pool.Occupancy[expr])
+	}
 
 	fmt.Fprintln(w, "# HELP nblserve_solve_duration_seconds Wall time of solves that ran an engine, by engine expression.")
 	fmt.Fprintln(w, "# TYPE nblserve_solve_duration_seconds histogram")

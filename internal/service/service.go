@@ -9,16 +9,16 @@
 // when a solve lives and dies with a CLI invocation. The service
 // amortizes it three ways:
 //
-//   - Workers keep warm per-engine state. A worker that has solved one
-//     instance re-serves the next through the same Solver value; for
-//     bare engine expressions ("mc", "mc" inside a lineup member built
-//     once) the Monte-Carlo adapter behind it reuses its banks via
-//     noise.Bank.Reseed and evaluator BindAll/Reset whenever the
-//     geometry repeats, so repeated traffic never rebuilds a bank.
-//     Meta expressions (pre(...), portfolio) deliberately construct
-//     fresh inner engines per solve for component isolation, so they
-//     run cold inside — making component engines worker-affine is the
-//     next amortization lever (see ROADMAP).
+//   - Workers lease engines from the shared lease pool
+//     (enginepool.Default) per job. The pool keeps warm instances keyed
+//     by (engine expression, config, geometry): repeated-geometry
+//     traffic reuses noise banks, evaluators, and block buffers via the
+//     engines' Reset primitives, and because pipeline components and
+//     portfolio members lease from the same pool, pre(...) and
+//     portfolio submissions warm up inside too — a warm engine left by
+//     one worker's pre(mc) component is picked up by the next bare-mc
+//     job, whoever runs it. Pool hit/miss/eviction counters and
+//     occupancy are exposed on /metrics.
 //   - Repeated formulas dedupe through the verdict cache, keyed by a
 //     renaming-stable canonical fingerprint (cnf.Canonicalize):
 //     resubmitting a formula — even relabeled — replays the stored
@@ -40,12 +40,12 @@ package service
 import (
 	"context"
 	"errors"
-	"fmt"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/enginepool"
 	"repro/internal/solver"
 )
 
@@ -229,7 +229,7 @@ func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
 	if s.cache.enabled() {
 		job.canon = cnf.Canonicalize(f)
 	}
-	if res, ok := s.cache.get(engine, cfgKey(opts.Solver), job.canon); ok {
+	if res, ok := s.cache.get(engine, opts.Solver.Key(), job.canon); ok {
 		// Replay: the stored Result verbatim (stats, wall, engine), the
 		// model translated through this submission's renaming. The job
 		// is fully terminal *before* register publishes it — once it is
@@ -396,24 +396,16 @@ func (s *Server) Cancel(id string) error {
 	return nil
 }
 
-// worker drains the queue until Shutdown closes it. Each worker keeps
-// its own warm solver per (engine expression, config): constructing a
-// registry engine is cheap, but the constructed Monte-Carlo adapter
-// accretes reusable noise banks across solves, which is exactly the
-// state worth pinning to a worker.
+// worker drains the queue until Shutdown closes it. Workers lease
+// their engines from the shared pool (enginepool.Default) per job
+// instead of pinning warm state to themselves: a worker that has
+// solved one uf20-91 instance leaves a warm engine any worker — or a
+// pipeline component, or a portfolio member — can pick up for the
+// next, so mixed-expression traffic warms up across the whole pool
+// rather than per (worker, expression) pair. The pool's LRU capacity
+// replaces the old per-worker warm-table bound.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	type warm struct {
-		cfgKey string
-		solver solver.Solver
-	}
-	// The warm table is bounded: engine expressions are client
-	// controlled (metas nest arbitrarily), and each mc-backed entry
-	// pins n·m-sized bank state, so an unbounded map would let a client
-	// cycling distinct expressions grow worker memory monotonically.
-	const maxWarm = 8
-	warmed := make(map[string]warm)
-	var warmOrder []string // insertion order; oldest evicted first
 	for {
 		s.mu.Lock()
 		for len(s.pending) == 0 && s.accepting {
@@ -438,33 +430,20 @@ func (s *Server) worker() {
 		job.started = time.Now()
 		job.mu.Unlock()
 
-		ck := cfgKey(job.cfg)
-		w, ok := warmed[job.Engine]
-		if !ok || w.cfgKey != ck {
-			slv, err := solver.NewWith(job.Engine, job.cfg)
-			if err != nil {
-				// Validated at submit; only a racing registry change can
-				// land here. Fail the job, not the worker.
-				s.finish(job, solver.Result{}, err)
-				continue
-			}
-			if _, existed := warmed[job.Engine]; !existed {
-				if len(warmed) >= maxWarm {
-					delete(warmed, warmOrder[0])
-					warmOrder = warmOrder[1:]
-				}
-				warmOrder = append(warmOrder, job.Engine)
-			}
-			w = warm{cfgKey: ck, solver: slv}
-			warmed[job.Engine] = w
+		lease, err := enginepool.Default.Acquire(job.Engine, job.cfg, job.f)
+		if err != nil {
+			// Validated at submit; only a racing registry change can
+			// land here. Fail the job, not the worker.
+			s.finish(job, solver.Result{}, err)
+			continue
 		}
-
 		ctx := solver.ContextWithProgress(job.ctx, func(st solver.Stats) {
 			job.mu.Lock()
 			job.progress = st
 			job.mu.Unlock()
 		})
-		res, err := w.solver.Solve(ctx, job.f)
+		res, err := lease.Solve(ctx)
+		lease.Release()
 		s.finish(job, res, err)
 	}
 }
@@ -501,7 +480,7 @@ func (s *Server) finish(job *Job, res solver.Result, err error) {
 	// the same formula or scrape /metrics, and both must already see
 	// this job's cache entry and counters.
 	if state == StateDone && job.canon != nil {
-		s.cache.put(job.Engine, cfgKey(job.cfg), job.canon, res)
+		s.cache.put(job.Engine, job.cfg.Key(), job.canon, res)
 	}
 	job.release()
 	s.met.jobFinished(string(state), job.Engine, res.Stats.Samples, res.Wall)
@@ -591,11 +570,3 @@ func (j *Job) Snapshot() Snapshot {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
-
-// cfgKey folds the solver knobs that select distinct warm engines into
-// a comparison key.
-func cfgKey(c solver.Config) string {
-	return fmt.Sprintf("%d|%d|%g|%d|%s|%s|%d|%d|%g|%d|%t|%v",
-		c.Seed, c.MaxSamples, c.Theta, c.Workers, c.Family, c.Allocation,
-		c.MaxFlips, c.Restarts, c.NoiseP, c.Candidates, c.FindModel, c.Members)
-}

@@ -270,6 +270,27 @@ type Solver interface {
 	Solve(ctx context.Context, f *cnf.Formula) (Result, error)
 }
 
+// Reusable is implemented by solvers whose constructed state — noise
+// banks, evaluators, block buffers — outlives a single Solve and can be
+// re-targeted at a new formula. It is the contract the engine lease
+// pool (internal/enginepool) is built on: a leased solver is Reset
+// before every reuse, and the boolean reports whether the reuse was
+// warm.
+//
+// Reset must leave the solver result-identical to a freshly
+// constructed one: a warm Solve after Reset returns bit-for-bit the
+// Result a cold instance would (the conformance tests assert this for
+// every pooled engine). The return value is purely an accounting
+// signal — true when the (n, m) geometry class of f allowed the
+// bank/buffer state to be kept (a warm hit), false when internal state
+// had to be dropped or never existed (the solver is still usable, just
+// cold). Reset must not fail: formula validation stays in Solve, where
+// the error has a caller to land on.
+type Reusable interface {
+	Solver
+	Reset(f *cnf.Formula) bool
+}
+
 // Func adapts a plain function to the Solver interface.
 type Func func(ctx context.Context, f *cnf.Formula) (Result, error)
 
@@ -331,6 +352,19 @@ func (c Config) withDefaults() Config {
 		c.Theta = 4
 	}
 	return c
+}
+
+// Key folds every engine-selecting knob into a comparison string: two
+// Configs with equal Keys construct behaviorally identical engines, so
+// the key is what warm-state reuse (the engine lease pool, the service
+// verdict cache) may safely share across. Defaults are applied first —
+// a zero Config and an explicit default Config select the same engine
+// and must key identically.
+func (c Config) Key() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("%d|%d|%g|%d|%s|%s|%d|%d|%g|%d|%t|%v",
+		c.Seed, c.MaxSamples, c.Theta, c.Workers, c.Family, c.Allocation,
+		c.MaxFlips, c.Restarts, c.NoiseP, c.Candidates, c.FindModel, c.Members)
 }
 
 // Option mutates a Config (functional options for New).
@@ -505,7 +539,7 @@ func NewWith(name string, cfg Config) (Solver, error) {
 	factory, ok := registry[name]
 	regMu.RUnlock()
 	if ok {
-		return &named{name: name, impl: factory(cfg.withDefaults())}, nil
+		return wrap(name, factory(cfg.withDefaults())), nil
 	}
 	if meta, inner, ok := splitMeta(name); ok {
 		regMu.RLock()
@@ -516,11 +550,22 @@ func NewWith(name string, cfg Config) (Solver, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &named{name: name, impl: impl}, nil
+			return wrap(name, impl), nil
 		}
 	}
 	return nil, fmt.Errorf("solver: unknown engine %q (registered: %v, meta: %v)",
 		name, Engines(), Metas())
+}
+
+// wrap adds the registry bookkeeping around an engine. A Reusable impl
+// yields a wrapper that is itself Reusable, so reusability survives the
+// trip through New/NewWith and the lease pool can see it.
+func wrap(name string, impl Solver) Solver {
+	n := &named{name: name, impl: impl}
+	if _, ok := impl.(Reusable); ok {
+		return &reusableNamed{named: *n}
+	}
+	return n
 }
 
 // splitMeta parses "meta(inner)" into its parts. The inner expression
@@ -555,4 +600,12 @@ func (n *named) Solve(ctx context.Context, f *cnf.Formula) (Result, error) {
 		r.Status = StatusUnknown
 	}
 	return r, err
+}
+
+// reusableNamed is the named wrapper for Reusable engines: same solve
+// bookkeeping, plus Reset forwarded to the implementation.
+type reusableNamed struct{ named }
+
+func (n *reusableNamed) Reset(f *cnf.Formula) bool {
+	return n.impl.(Reusable).Reset(f)
 }
