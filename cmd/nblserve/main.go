@@ -1,7 +1,8 @@
 // Command nblserve runs the resident NBL-SAT solve service: an
 // HTTP/JSON API over the engine registry with an async job queue, a
 // bounded worker pool with warm per-engine state, a renaming-stable
-// verdict cache, live progress, and Prometheus metrics.
+// verdict cache with an optional durable store tier, live progress,
+// and Prometheus metrics.
 //
 // Usage:
 //
@@ -11,6 +12,12 @@
 //	-workers  solve-pool size (default 2× CPUs, capped at 8)
 //	-queue    backlog bound before submissions get 503 (default 256)
 //	-cache    verdict-cache entries (default 4096; negative disables)
+//	-store    path to a durable verdict store file (empty disables);
+//	          definitive verdicts persist across restarts and the file
+//	          can be snapshot-shipped to seed another replica
+//	-node-id  fleet node name, surfaced as the X-NBL-Node response
+//	          header and a node label on /metrics
+//	          (default hostname:port after the listen address resolves)
 //	-engine   default engine expression (default pre(portfolio))
 //	-drain    graceful-shutdown grace period (default 30s)
 //
@@ -26,7 +33,9 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
 // running jobs drain within -drain, stragglers are cancelled (engines
 // honor context cancellation in their hot loops), and the process exits
-// 0 on a clean drain.
+// 0 on a clean drain. While draining, rejected submissions carry a
+// Retry-After header with the remaining grace seconds, which the fleet
+// router honors when failing over.
 package main
 
 import (
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/verdictstore"
 
 	// Link every engine into the registry.
 	_ "repro"
@@ -58,29 +68,61 @@ func main() {
 		workers = flag.Int("workers", defWorkers, "solve-pool size (bounds concurrent engine work)")
 		queue   = flag.Int("queue", 256, "job queue depth before submissions are rejected with 503")
 		cache   = flag.Int("cache", 4096, "verdict cache entries (negative disables caching)")
+		store   = flag.String("store", "", "durable verdict store file (empty disables persistence)")
+		nodeID  = flag.String("node-id", "", "fleet node name for X-NBL-Node and metrics (default hostname:port)")
 		engine  = flag.String("engine", "pre(portfolio)", "default engine expression for submissions that name none")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight jobs")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *engine, *drain); err != nil {
+	if err := run(*addr, *workers, *queue, *cache, *store, *nodeID, *engine, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "nblserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, engine string, drain time.Duration) error {
+func run(addr string, workers, queue, cache int, storePath, nodeID, engine string, drain time.Duration) error {
+	// Listen before constructing the server: the default node id embeds
+	// the resolved port (":0" expansion included), and a busy address
+	// should fail before a store file is opened.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if nodeID == "" {
+		host, herr := os.Hostname()
+		if herr != nil {
+			host = "nblserve"
+		}
+		if _, port, perr := net.SplitHostPort(ln.Addr().String()); perr == nil {
+			nodeID = host + ":" + port
+		} else {
+			nodeID = host
+		}
+	}
+
+	var vs *verdictstore.Store
+	if storePath != "" {
+		vs, err = verdictstore.Open(storePath)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer vs.Close()
+		st := vs.Stats()
+		fmt.Printf("nblserve: verdict store %s (%d verdicts loaded, %d torn bytes dropped)\n",
+			storePath, st.Loaded, st.TornBytes)
+	}
+
 	srv := service.NewServer(service.Config{
 		Workers:       workers,
 		QueueDepth:    queue,
 		CacheEntries:  cache,
 		DefaultEngine: engine,
+		Store:         vs,
+		NodeID:        nodeID,
 	})
 
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	// The machine-readable line tools (and the e2e test) key on: the
+	// The machine-readable line tools (and the e2e tests) key on: the
 	// resolved address, after :0 expansion.
 	fmt.Printf("nblserve: listening on %s\n", ln.Addr())
 
@@ -100,17 +142,21 @@ func run(addr string, workers, queue, cache int, engine string, drain time.Durat
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	// Stop the HTTP listener first (no new submissions), then drain the
-	// pool. A second signal aborts the drain immediately.
+	// A second signal aborts the drain immediately.
 	go func() {
 		<-sig
 		cancel()
 	}()
+	// Stop intake first (in-flight HTTP submissions start answering 503
+	// + Retry-After with the remaining grace), then close the listener
+	// and wait for both the connections and the job pool to drain.
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Shutdown(ctx) }()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) &&
 		!errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := <-drained; err != nil {
 		fmt.Printf("nblserve: drain incomplete (%v); in-flight jobs cancelled\n", err)
 	} else {
 		fmt.Println("nblserve: drained cleanly")

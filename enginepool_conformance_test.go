@@ -139,6 +139,62 @@ func TestPoolMixedGeometryTrafficStaysSound(t *testing.T) {
 	}
 }
 
+// TestStatelessShellsKeyGeometryFree pins the geometry-free pool
+// keying of stateless meta shells: a pre(...) or portfolio instance
+// released after serving one formula shape comes back warm for a
+// completely different shape (one idle shell serves every (n, m)),
+// while a bank-pinning engine like mc leased across shapes stays cold
+// — its warmth is geometry-sized and must not be shared.
+func TestStatelessShellsKeyGeometryFree(t *testing.T) {
+	small := PaperSAT()
+	big := DisjointUnion(PaperExample6(), PaperExample6(), PaperExample6())
+	if small.NumVars == big.NumVars && small.NumClauses() == big.NumClauses() {
+		t.Fatal("test needs two distinct geometries")
+	}
+	cfg := solver.Config{Seed: 5, MaxSamples: 1_000_000}
+
+	crossGeometryLease := func(t *testing.T, expr string) *enginepool.Lease {
+		t.Helper()
+		pool := enginepool.New(4)
+		l1, err := pool.Acquire(expr, cfg, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l1.Solve(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		l1.Release()
+		l2, err := pool.Acquire(expr, cfg, big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(l2.Release)
+		return l2
+	}
+
+	for _, expr := range []string{"pre(mc)", "portfolio", "pre(portfolio)"} {
+		t.Run(expr, func(t *testing.T) {
+			l := crossGeometryLease(t, expr)
+			if !l.Warm() {
+				t.Fatalf("%s re-leased cold across geometries; stateless shells must key (n,m)-free", expr)
+			}
+			r, err := l.Solve(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Status != StatusSat {
+				t.Fatalf("warm cross-geometry solve: %v, want SAT", r.Status)
+			}
+		})
+	}
+
+	t.Run("mc-stays-geometry-keyed", func(t *testing.T) {
+		if l := crossGeometryLease(t, "mc"); l.Warm() {
+			t.Fatal("mc re-leased warm across geometries; bank state must stay geometry-keyed")
+		}
+	})
+}
+
 func poolSolve(t *testing.T, pool *enginepool.Pool, engine string, cfg solver.Config, f *Formula) Result {
 	t.Helper()
 	lease, err := pool.Acquire(engine, cfg, f)

@@ -1,0 +1,63 @@
+// Golden canonical fingerprints, pinned. The fingerprint is the key
+// the verdict cache, the durable verdict store, and the fleet
+// router's placement all share — a silent change to canonicalization
+// would invalidate every persisted verdict file and reshuffle fleet
+// placement, so any such change must show up here as a deliberate,
+// reviewed golden update (and a store-format note), never as drift.
+//
+// External test package: the DIMACS files exercise the same
+// dimacs -> cnf path every production submission takes.
+package cnf_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/dimacs"
+)
+
+func TestGoldenCanonicalFingerprints(t *testing.T) {
+	cases := []struct {
+		file string // repo-root testdata path
+		n, m int
+		fp   string
+	}{
+		// The paper's S_SAT in SATLIB dialect.
+		{"paper-sat-satlib.cnf", 2, 4,
+			"7a5a1120b19ca2cbdc74bdc2ad83f2a41d6e329895d2e57ba84e6907904685b4"},
+		// The paper's S_UNSAT.
+		{"paper-unsat.cnf", 2, 4,
+			"43f75e646717b1a3655d97fc87b88d6bd6d9814127cf875f4be3321e0da23de8"},
+		// SATLIB-style planted 3-SAT (n=8, m=24).
+		{"uf8-satlib.cnf", 8, 24,
+			"549c2a9b748a51ed29119a5368eb22b44e1e060637469ffde07871f14fd3c11d"},
+		// uf8 under the renaming 1<->5, 2<->7, 3<->6, 4<->8: different
+		// bytes, identical fingerprint — the property the fleet's
+		// cross-node cache hits stand on.
+		{"uf8-renamed.cnf", 8, 24,
+			"549c2a9b748a51ed29119a5368eb22b44e1e060637469ffde07871f14fd3c11d"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("..", "..", "testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := dimacs.ReadString(string(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.NumVars != tc.n || f.NumClauses() != tc.m {
+				t.Fatalf("geometry (%d, %d), want (%d, %d)",
+					f.NumVars, f.NumClauses(), tc.n, tc.m)
+			}
+			if got := cnf.Canonicalize(f).Fingerprint(); got != tc.fp {
+				t.Errorf("fingerprint drifted:\ngot  %s\nwant %s\n"+
+					"(a deliberate canonicalization change must update this golden "+
+					"AND bump the verdict-store compatibility note)", got, tc.fp)
+			}
+		})
+	}
+}

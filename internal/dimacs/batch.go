@@ -1,0 +1,54 @@
+package dimacs
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// SplitBatch cuts a concatenation of DIMACS documents into one chunk
+// per instance: a "p" problem line starts a new instance, a SATLIB "%"
+// trailer ends one (junk between a trailer and the next problem line —
+// the trailer's "0", blank lines — is dropped). Comments before the
+// first problem line attach to the first instance. Both the service's
+// /solve/batch endpoint and the fleet router split with this, so an
+// instance boundary never depends on which tier parsed the body.
+func SplitBatch(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		chunks   []string
+		cur      strings.Builder
+		sawProb  bool
+		trailing bool // between a "%" trailer and the next problem line
+	)
+	flush := func() {
+		if cur.Len() > 0 {
+			chunks = append(chunks, cur.String())
+			cur.Reset()
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		t := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(t, "p"):
+			if sawProb {
+				flush()
+			}
+			sawProb = true
+			trailing = false
+		case strings.HasPrefix(t, "%"):
+			trailing = sawProb
+		case trailing:
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return chunks, nil
+}

@@ -35,14 +35,13 @@
 // bounds only idle instances, so Acquire never blocks: concurrent
 // demand beyond the cap simply constructs cold.
 //
-// Known tradeoff: meta shells (pre(...), portfolio) are Reusable but
-// hold no geometry-sized state — their warmth lives in the inner
-// engines they lease — yet they occupy one idle slot per (expression,
-// config, geometry) class like everything else, and their reuse counts
-// in the warm-hit counter. The slots are near-free in bytes but do
-// compete with bank-pinning engines under the count-based capacity;
-// keying shells geometry-free (one instance serving every (n, m)) is
-// the named next lever in ROADMAP.
+// Expressions marked stateless in the registry (solver.MarkStateless:
+// the pre shell, the portfolio racer) key geometry-free — (n, m) is
+// zeroed in their pool key, so one idle shell serves every formula
+// shape instead of occupying one LRU slot per geometry class it ever
+// touched. This is sound exactly because such shells hold no
+// geometry-sized state of their own: their warmth lives in the inner
+// engines they lease, which keep full geometry keying.
 package enginepool
 
 import (
@@ -118,7 +117,13 @@ type Lease struct {
 // returned warm; otherwise a fresh instance is constructed (any
 // registry error surfaces here, exactly as solver.NewWith would).
 func (p *Pool) Acquire(expr string, cfg solver.Config, f *cnf.Formula) (*Lease, error) {
-	k := key{expr: expr, cfg: cfg.Key(), n: f.NumVars, m: f.NumClauses()}
+	n, m := f.NumVars, f.NumClauses()
+	if solver.Stateless(expr) {
+		// Stateless shells hold no geometry-sized state; one idle
+		// instance serves every (n, m).
+		n, m = 0, 0
+	}
+	k := key{expr: expr, cfg: cfg.Key(), n: n, m: m}
 
 	p.mu.Lock()
 	var e *entry

@@ -54,6 +54,9 @@ func init() {
 	solver.RegisterMeta("pre", func(inner string, cfg solver.Config) (solver.Solver, error) {
 		return New(inner, cfg)
 	})
+	// The shell holds no geometry-sized state (Reset is always warm);
+	// the lease pool keys it geometry-free.
+	solver.MarkStateless("pre")
 }
 
 // Pipeline is the preprocess-and-decompose meta-engine around one inner

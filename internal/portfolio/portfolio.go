@@ -30,6 +30,9 @@ func init() {
 	solver.Register("portfolio", func(cfg solver.Config) solver.Solver {
 		return New(cfg)
 	})
+	// The racer holds no geometry-sized state (members are leased
+	// per-solve); the lease pool keys it geometry-free.
+	solver.MarkStateless("portfolio")
 }
 
 // Portfolio races a set of registry engines. Construct with New or via

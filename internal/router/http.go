@@ -1,0 +1,483 @@
+// HTTP surface of the fleet router. The endpoint set mirrors
+// nblserve's so a client can talk to one replica or the fleet front
+// without changing shape:
+//
+//	POST   /solve             route by canonical fingerprint, proxy
+//	POST   /solve/batch       split, route each instance independently
+//	GET    /jobs              union of every replica's jobs
+//	GET    /jobs/{id}         proxy to the owning replica (?wait=...)
+//	GET    /jobs/{id}/events  proxy the SSE stream, ids renamespaced
+//	DELETE /jobs/{id}         proxy the cancel
+//	GET    /metrics           fleet aggregation (see handleMetrics)
+//	GET    /healthz           per-node health + overall verdict
+package router
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/dimacs"
+)
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", rt.handleSolve)
+	mux.HandleFunc("POST /solve/batch", rt.handleBatch)
+	mux.HandleFunc("GET /jobs", rt.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", rt.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", rt.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", rt.handleEvents)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// copyBackendHeaders forwards the response headers a client of a
+// single replica would have seen — notably X-NBL-Node, which is how
+// a fleet client learns which replica answered.
+func copyBackendHeaders(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"X-NBL-Node", "Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("instance exceeds the %d-byte body limit", maxBodyBytes))
+		return
+	}
+	fp, vars, clauses, err := canonKey(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, node, err := rt.forward(r, rt.rank(fp, vars, clauses),
+		http.MethodPost, "/solve?"+r.URL.RawQuery, body)
+	if err != nil {
+		rt.submitErrors.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterFleet()))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("reading %s: %w", node.Name, err))
+		return
+	}
+	copyBackendHeaders(w, resp)
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		// Client error from the backend (bad query parameter, parse
+		// rejection past routing's shallower parse): relay verbatim.
+		w.WriteHeader(resp.StatusCode)
+		w.Write(raw) //nolint:errcheck // client gone; nothing to do
+		return
+	}
+	out, id, err := rewriteJobID(node.Name, raw)
+	if err != nil {
+		writeError(w, http.StatusBadGateway,
+			fmt.Errorf("%s answered an unreadable job snapshot: %w", node.Name, err))
+		return
+	}
+	rt.track(id, node.Name)
+	rt.submits.Add(1)
+	w.Header().Set("Location", "/jobs/"+id)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(out) //nolint:errcheck // client gone; nothing to do
+}
+
+// batchItem mirrors the service's per-instance batch outcome, with
+// the job snapshot relayed raw (ids already renamespaced).
+type batchItem struct {
+	Index int             `json:"index"`
+	Job   json.RawMessage `json:"job,omitempty"`
+	Error string          `json:"error,omitempty"`
+	Code  int             `json:"code,omitempty"`
+}
+
+// handleBatch splits the body exactly as a replica would, then routes
+// every instance independently — two instances of one batch land on
+// different replicas when their fingerprints say so. Each instance is
+// forwarded as its own /solve, so per-instance admission (and
+// failover) works the same as for single submissions.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	chunks, err := dimacs.SplitBatch(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch exceeds the %d-byte body limit", maxBodyBytes))
+		return
+	}
+	if len(chunks) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch carries no DIMACS instances"))
+		return
+	}
+
+	// sync would serialize the whole batch through each instance's
+	// forward; the service's batch endpoint ignores it, so drop it.
+	q, _ := url.ParseQuery(r.URL.RawQuery)
+	q.Del("sync")
+	query := q.Encode()
+
+	items := make([]batchItem, len(chunks))
+	accepted := 0
+	for i, chunk := range chunks {
+		items[i].Index = i
+		body := []byte(chunk)
+		fp, vars, clauses, err := canonKey(body)
+		if err != nil {
+			items[i].Error = err.Error()
+			items[i].Code = http.StatusBadRequest
+			continue
+		}
+		resp, node, err := rt.forward(r, rt.rank(fp, vars, clauses),
+			http.MethodPost, "/solve?"+query, body)
+		if err != nil {
+			rt.submitErrors.Add(1)
+			items[i].Error = err.Error()
+			items[i].Code = http.StatusServiceUnavailable
+			continue
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			items[i].Error = rerr.Error()
+			items[i].Code = http.StatusBadGateway
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			var backendErr struct {
+				Error string `json:"error"`
+			}
+			json.Unmarshal(raw, &backendErr) //nolint:errcheck // best effort
+			items[i].Error = backendErr.Error
+			if items[i].Error == "" {
+				items[i].Error = fmt.Sprintf("%s: HTTP %d", node.Name, resp.StatusCode)
+			}
+			items[i].Code = resp.StatusCode
+			continue
+		}
+		out, id, err := rewriteJobID(node.Name, raw)
+		if err != nil {
+			items[i].Error = err.Error()
+			items[i].Code = http.StatusBadGateway
+			continue
+		}
+		rt.track(id, node.Name)
+		rt.submits.Add(1)
+		items[i].Job = out
+		accepted++
+	}
+
+	code := http.StatusAccepted
+	if accepted == 0 {
+		code = items[0].Code
+		for _, it := range items {
+			if it.Code == http.StatusServiceUnavailable {
+				code = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterFleet()))
+				break
+			}
+		}
+	}
+	writeJSON(w, code, items)
+}
+
+// handleJobs unions every replica's job list under namespaced ids. A
+// replica that fails to answer is skipped (and counted), not fatal:
+// a partial fleet listing is more useful than none.
+func (rt *Router) handleJobs(w http.ResponseWriter, r *http.Request) {
+	all := make([]json.RawMessage, 0, 16)
+	for _, nd := range rt.nodes {
+		resp, err := rt.get(r, nd, "/jobs")
+		if err != nil {
+			rt.scrapeErrors.Add(1)
+			continue
+		}
+		var jobs []json.RawMessage
+		err = json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&jobs)
+		resp.Body.Close()
+		if err != nil {
+			rt.scrapeErrors.Add(1)
+			continue
+		}
+		for _, raw := range jobs {
+			if out, _, err := rewriteJobID(nd.Name, raw); err == nil {
+				all = append(all, out)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, all)
+}
+
+func (rt *Router) get(r *http.Request, nd Node, pathAndQuery string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, nd.URL+pathAndQuery, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rt.client.Do(req)
+}
+
+// proxyJob forwards one job-scoped request (snapshot or cancel) to
+// the owning replica and relays the response with the id renamespaced.
+func (rt *Router) proxyJob(w http.ResponseWriter, r *http.Request, method string) {
+	id := r.PathValue("id")
+	nd, remote, ok := rt.resolve(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	path := "/jobs/" + remote
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, nd.URL+path, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("%s unreachable: %w", nd.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("reading %s: %w", nd.Name, err))
+		return
+	}
+	rt.proxied.Add(1)
+	copyBackendHeaders(w, resp)
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out, _, rerr := rewriteJobID(nd.Name, raw); rerr == nil {
+			raw = out
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(raw) //nolint:errcheck // client gone; nothing to do
+}
+
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	rt.proxyJob(w, r, http.MethodGet)
+}
+
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rt.proxyJob(w, r, http.MethodDelete)
+}
+
+// handleEvents streams the owning replica's SSE feed through,
+// renamespacing the id inside each event's data payload. Everything
+// else in the payload passes through untouched.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	nd, remote, ok := rt.resolve(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	fl, flOK := w.(http.Flusher)
+	if !flOK {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	resp, err := rt.get(r, nd, "/jobs/"+remote+"/events")
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("%s unreachable: %w", nd.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		copyBackendHeaders(w, resp)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(raw) //nolint:errcheck // client gone; nothing to do
+		return
+	}
+	rt.proxied.Add(1)
+	copyBackendHeaders(w, resp)
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, found := strings.CutPrefix(line, "data: "); found {
+			if out, _, err := rewriteJobID(nd.Name, []byte(data)); err == nil {
+				line = "data: " + string(out)
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return
+		}
+		if line == "" { // event boundary
+			fl.Flush()
+		}
+	}
+	fl.Flush()
+}
+
+// handleMetrics writes the fleet view in three layers:
+//
+//  1. the router's own nblrouter_* counters;
+//  2. every replica's families relabeled with node="<name>" (lines
+//     already carrying a node label — nblserve_node_info — pass
+//     through untouched);
+//  3. nblfleet_* sums: each nblserve_* family summed across nodes,
+//     grouped by its remaining labels, so "how many solves did the
+//     fleet do" is one line regardless of fleet size.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE nblrouter_nodes gauge\nnblrouter_nodes %d\n", len(rt.nodes))
+	for _, c := range []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"nblrouter_submits_total", &rt.submits},
+		{"nblrouter_submit_errors_total", &rt.submitErrors},
+		{"nblrouter_failovers_total", &rt.failovers},
+		{"nblrouter_proxied_total", &rt.proxied},
+		{"nblrouter_scrape_errors_total", &rt.scrapeErrors},
+	} {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v.Load())
+	}
+
+	fleet := make(map[string]float64)
+	var fleetOrder []string
+	for _, nd := range rt.nodes {
+		resp, err := rt.get(r, nd, "/metrics")
+		if err != nil {
+			rt.scrapeErrors.Add(1)
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			name, labels, valStr, val, ok := parseMetricLine(line)
+			if !ok {
+				continue
+			}
+			if strings.Contains(labels, `node="`) {
+				fmt.Fprintln(&b, line)
+				continue
+			}
+			if labels == "" {
+				fmt.Fprintf(&b, "%s{node=%q} %s\n", name, nd.Name, valStr)
+			} else {
+				fmt.Fprintf(&b, "%s{node=%q,%s} %s\n", name, nd.Name, labels, valStr)
+			}
+			if suffix, found := strings.CutPrefix(name, "nblserve_"); found {
+				key := "nblfleet_" + suffix
+				if labels != "" {
+					key += "{" + labels + "}"
+				}
+				if _, seen := fleet[key]; !seen {
+					fleetOrder = append(fleetOrder, key)
+				}
+				fleet[key] += val
+			}
+		}
+		resp.Body.Close()
+	}
+	sort.Strings(fleetOrder)
+	for _, key := range fleetOrder {
+		fmt.Fprintf(&b, "%s %s\n", key, strconv.FormatFloat(fleet[key], 'g', -1, 64))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String()) //nolint:errcheck // client gone; nothing to do
+}
+
+// parseMetricLine splits a Prometheus text-format sample line into
+// name, label body (no braces), and value.
+func parseMetricLine(line string) (name, labels, valStr string, val float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", "", 0, false
+	}
+	metric, valStr := line[:sp], line[sp+1:]
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", "", "", 0, false
+	}
+	if open := strings.IndexByte(metric, '{'); open >= 0 {
+		if !strings.HasSuffix(metric, "}") {
+			return "", "", "", 0, false
+		}
+		return metric[:open], metric[open+1 : len(metric)-1], valStr, v, true
+	}
+	return metric, "", valStr, v, true
+}
+
+// nodeHealth is one replica's slot in the fleet /healthz answer.
+type nodeHealth struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Cooling int    `json:"cooling_seconds,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleHealthz probes every replica. The fleet is "ok" while at
+// least one replica answers; with none, the router is a front for
+// nothing and says so with a 503.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := make([]nodeHealth, len(rt.nodes))
+	healthy := 0
+	for i, nd := range rt.nodes {
+		out[i] = nodeHealth{Name: nd.Name, URL: nd.URL}
+		if until, resting := rt.cooling(nd.Name); resting {
+			out[i].Cooling = int(until.Sub(rt.now()).Seconds()) + 1
+		}
+		resp, err := rt.get(r, nd, "/healthz")
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			out[i].Healthy = true
+			healthy++
+		} else {
+			out[i].Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if healthy == 0 {
+		status, code = "down", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status": status,
+		"nodes":  out,
+	})
+}

@@ -1,0 +1,330 @@
+// Package router is the fleet front for nblserve replicas: a thin
+// HTTP tier that parses each submission just far enough to
+// canonicalize it, then consistent-hashes the job to a backend
+// replica by its canonical fingerprint.
+//
+// Routing is rendezvous (highest-random-weight) hashing: every node
+// scores hash(fingerprint, node) and the highest score wins, so two
+// submissions of the same formula under different variable renamings
+// always land on the same replica — that replica's verdict cache and
+// warm engine pool see the repeat, no shared state required. Adding
+// or removing a replica remaps only the jobs whose winner changed
+// (1/n of the keyspace), not everything, which is why this beats
+// modulo hashing for a fleet that scales.
+//
+// Failover order is a second rendezvous ranking on the formula's
+// (vars, clauses) geometry: when the fingerprint-primary refuses a
+// job (full queue, draining, dead), the retry goes to the replica
+// most likely to hold a warm engine lease for that shape. A refusal
+// cools the node down — for the seconds a 503's Retry-After names,
+// or a short default for dial errors — and cooling nodes are tried
+// last until the window passes.
+//
+// Job ids returned to clients are namespaced "<node>-<remote id>" so
+// ids from different replicas cannot collide; /jobs/{id}, its SSE
+// event stream, and DELETE resolve the node from an id→node map with
+// a prefix-parse fallback that survives a router restart. /metrics
+// aggregates the fleet: the router's own counters, every replica's
+// families relabeled with node="...", and nblfleet_* sums grouped by
+// the remaining labels.
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/dimacs"
+)
+
+// maxBodyBytes mirrors the service's submission cap.
+const maxBodyBytes = 16 << 20
+
+// maxTrackedJobs bounds the id→node map; past it the map is dropped
+// wholesale and resolution falls back to prefix-parsing, which is
+// always correct (the map only saves the scan).
+const maxTrackedJobs = 1 << 16
+
+// Node is one nblserve replica.
+type Node struct {
+	Name string // label used in job ids and the node= metric label
+	URL  string // base URL, e.g. http://127.0.0.1:7797
+}
+
+// Config configures a Router.
+type Config struct {
+	Nodes []Node
+
+	// Client issues all backend requests. Defaults to a client with
+	// no global timeout (SSE and long-polls must be allowed to run);
+	// per-request lifetime comes from the inbound request context.
+	Client *http.Client
+
+	// Cooldown is how long a node rests after a refusal that names no
+	// Retry-After (dial errors, bare 503s). Default 1s.
+	Cooldown time.Duration
+
+	// Now is the clock; tests inject a fake. Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Router fronts a fleet of nblserve replicas.
+type Router struct {
+	nodes   []Node
+	client  *http.Client
+	defCool time.Duration
+	now     func() time.Time
+
+	mu      sync.Mutex
+	jobNode map[string]string    // namespaced job id -> node name
+	coolOff map[string]time.Time // node name -> earliest next attempt
+
+	submits      atomic.Int64 // jobs accepted by some backend
+	submitErrors atomic.Int64 // submissions no backend accepted
+	failovers    atomic.Int64 // node refusals that moved a job onward
+	proxied      atomic.Int64 // job lookups/cancels/streams forwarded
+	scrapeErrors atomic.Int64 // replica /metrics or /jobs fetch failures
+}
+
+// New builds a Router over cfg.Nodes.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("router: no backend nodes")
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	for _, nd := range cfg.Nodes {
+		if nd.Name == "" || nd.URL == "" {
+			return nil, fmt.Errorf("router: node needs both name and URL: %+v", nd)
+		}
+		if seen[nd.Name] {
+			return nil, fmt.Errorf("router: duplicate node name %q", nd.Name)
+		}
+		seen[nd.Name] = true
+	}
+	rt := &Router{
+		nodes:   append([]Node(nil), cfg.Nodes...),
+		client:  cfg.Client,
+		defCool: cfg.Cooldown,
+		now:     cfg.Now,
+		jobNode: make(map[string]string),
+		coolOff: make(map[string]time.Time),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	if rt.defCool <= 0 {
+		rt.defCool = time.Second
+	}
+	if rt.now == nil {
+		rt.now = time.Now
+	}
+	return rt, nil
+}
+
+// Nodes returns the fleet membership.
+func (rt *Router) Nodes() []Node { return append([]Node(nil), rt.nodes...) }
+
+// hrw is the rendezvous score of key on node: FNV-1a over the node
+// name and the key, separated so neither can masquerade as the other.
+func hrw(node, key string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, node) //nolint:errcheck // cannot fail
+	h.Write([]byte{0})
+	io.WriteString(h, key) //nolint:errcheck // cannot fail
+	return h.Sum64()
+}
+
+// rank orders the fleet for one submission: the fingerprint's
+// rendezvous winner first (cache affinity), the rest by their
+// geometry score (warm-pool affinity for failover).
+func (rt *Router) rank(fp string, vars, clauses int) []Node {
+	out := append([]Node(nil), rt.nodes...)
+	if len(out) <= 1 {
+		return out
+	}
+	best := 0
+	for i := 1; i < len(out); i++ {
+		if hrw(out[i].Name, fp) > hrw(out[best].Name, fp) {
+			best = i
+		}
+	}
+	out[0], out[best] = out[best], out[0]
+	geo := strconv.Itoa(vars) + "/" + strconv.Itoa(clauses)
+	rest := out[1:]
+	sort.Slice(rest, func(i, j int) bool {
+		si, sj := hrw(rest[i].Name, geo), hrw(rest[j].Name, geo)
+		if si != sj {
+			return si > sj
+		}
+		return rest[i].Name < rest[j].Name
+	})
+	return out
+}
+
+// cooling reports whether the node is resting, and until when.
+func (rt *Router) cooling(name string) (time.Time, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	until, ok := rt.coolOff[name]
+	if !ok || !rt.now().Before(until) {
+		return time.Time{}, false
+	}
+	return until, true
+}
+
+func (rt *Router) cool(name string, d time.Duration) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.coolOff[name] = rt.now().Add(d)
+}
+
+// forward tries each candidate in order until one answers with
+// anything other than a refusal. Refusals (503, dial failure) cool
+// the node — honoring the 503's Retry-After when present — and move
+// on; cooling nodes are demoted to a second pass rather than skipped
+// outright, so a fully-cooling fleet still gets one honest attempt.
+// Any other response, success or client error, belongs to the caller.
+func (rt *Router) forward(r *http.Request, order []Node, method, pathAndQuery string, body []byte) (*http.Response, Node, error) {
+	var hot, cold []Node
+	for _, nd := range order {
+		if _, resting := rt.cooling(nd.Name); resting {
+			cold = append(cold, nd)
+		} else {
+			hot = append(hot, nd)
+		}
+	}
+	var refusals []string
+	for _, nd := range append(hot, cold...) {
+		req, err := http.NewRequestWithContext(r.Context(), method, nd.URL+pathAndQuery, bytes.NewReader(body))
+		if err != nil {
+			return nil, Node{}, err
+		}
+		if method == http.MethodPost {
+			req.Header.Set("Content-Type", "text/plain")
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			rt.cool(nd.Name, rt.defCool)
+			rt.failovers.Add(1)
+			refusals = append(refusals, nd.Name+": "+err.Error())
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			cool := rt.defCool
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				cool = time.Duration(secs) * time.Second
+			}
+			rt.cool(nd.Name, cool)
+			rt.failovers.Add(1)
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			refusals = append(refusals,
+				fmt.Sprintf("%s: 503 (cooling %v) %s", nd.Name, cool, bytes.TrimSpace(msg)))
+			continue
+		}
+		return resp, nd, nil
+	}
+	return nil, Node{}, fmt.Errorf("every node refused the job: %s", strings.Join(refusals, "; "))
+}
+
+// retryAfterFleet is the Retry-After a fully-refusing fleet reports:
+// seconds until the soonest node exits its cooldown, at least 1.
+func (rt *Router) retryAfterFleet() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	now := rt.now()
+	soonest := time.Duration(math.MaxInt64)
+	for _, until := range rt.coolOff {
+		if d := until.Sub(now); d > 0 && d < soonest {
+			soonest = d
+		}
+	}
+	if soonest == time.Duration(math.MaxInt64) {
+		return 1
+	}
+	secs := int(math.Ceil(soonest.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// track records a namespaced job id's node for later proxying.
+func (rt *Router) track(id, node string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.jobNode) >= maxTrackedJobs {
+		rt.jobNode = make(map[string]string)
+	}
+	rt.jobNode[id] = node
+}
+
+// resolve maps a namespaced job id back to its node and the remote
+// id. The map is the fast path; prefix-parsing the node name out of
+// the id is the fallback that survives a router restart.
+func (rt *Router) resolve(id string) (Node, string, bool) {
+	rt.mu.Lock()
+	name, ok := rt.jobNode[id]
+	rt.mu.Unlock()
+	for _, nd := range rt.nodes {
+		if ok && nd.Name == name {
+			return nd, strings.TrimPrefix(id, nd.Name+"-"), true
+		}
+		if !ok {
+			if rest, found := strings.CutPrefix(id, nd.Name+"-"); found && rest != "" {
+				return nd, rest, true
+			}
+		}
+	}
+	return Node{}, "", false
+}
+
+// rewriteJobID namespaces the "id" field of a job-snapshot JSON body
+// and returns the rewritten body plus the namespaced id. Every other
+// field passes through byte-for-byte (RawMessage, no re-encoding), so
+// the router can never corrupt a verdict in transit.
+func rewriteJobID(node string, raw []byte) ([]byte, string, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, "", err
+	}
+	var remote string
+	if err := json.Unmarshal(m["id"], &remote); err != nil {
+		return nil, "", fmt.Errorf("job snapshot carries no id: %w", err)
+	}
+	id := node + "-" + remote
+	quoted, err := json.Marshal(id)
+	if err != nil {
+		return nil, "", err
+	}
+	m["id"] = quoted
+	out, err := json.Marshal(m)
+	if err != nil {
+		return nil, "", err
+	}
+	return out, id, nil
+}
+
+// canonKey fingerprints a DIMACS body. The router parses only to
+// canonicalize — the backend re-parses and is the authority on
+// malformed input beyond what routing itself needs.
+func canonKey(body []byte) (fp string, vars, clauses int, err error) {
+	f, err := dimacs.Read(bytes.NewReader(body))
+	if err != nil {
+		return "", 0, 0, err
+	}
+	c := cnf.Canonicalize(f)
+	return c.Fingerprint(), f.NumVars, f.NumClauses(), nil
+}

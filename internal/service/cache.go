@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/solver"
+	"repro/internal/verdictstore"
 )
 
 // verdictCache is the service's LRU verdict cache. Keys are
@@ -33,11 +34,23 @@ import (
 // budget, a different engine, or plain different luck can legitimately
 // decide the instance, so caching UNKNOWN would turn a transient
 // shortfall into a sticky wrong answer. Store never admits it.
+//
+// The cache is optionally two-tiered: an LRU miss consults the durable
+// verdict store (internal/verdictstore) and, on a hit there, promotes
+// the record into the LRU. Puts write through to both tiers. The store
+// shares the LRU's key composition and its UNKNOWN exclusion, so the
+// correctness argument above covers both tiers; what the store adds is
+// survival across process restarts (and snapshot-shipping between
+// fleet nodes). Counter accounting: hits counts LRU hits, the store's
+// own counters count tier-2 lookups, and misses counts lookups that
+// missed *both* tiers — so hits + store-hits + misses partitions the
+// lookups.
 type verdictCache struct {
 	mu      sync.Mutex
 	cap     int
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
+	store   *verdictstore.Store // optional durable tier; nil = LRU only
 
 	hits, misses, evictions int64
 }
@@ -48,13 +61,16 @@ type cacheEntry struct {
 	model cnf.Assignment // canonical-space model, nil when the solve produced none
 }
 
-// newVerdictCache returns a cache holding up to capacity entries;
-// capacity <= 0 disables caching (every lookup misses, stores drop).
-func newVerdictCache(capacity int) *verdictCache {
+// newVerdictCache returns a cache holding up to capacity entries over
+// an optional durable store tier; capacity <= 0 disables the LRU
+// (lookups fall straight through to the store, which may itself be
+// nil, in which case every lookup misses and stores drop).
+func newVerdictCache(capacity int, store *verdictstore.Store) *verdictCache {
 	return &verdictCache{
 		cap:     capacity,
 		order:   list.New(),
 		entries: make(map[string]*list.Element),
+		store:   store,
 	}
 }
 
@@ -62,12 +78,14 @@ func cacheKey(engine, cfg, fingerprint string) string {
 	return engine + "\x00" + cfg + "\x00" + fingerprint
 }
 
-// enabled reports whether the cache stores anything at all.
-func (c *verdictCache) enabled() bool { return c.cap > 0 }
+// enabled reports whether any tier stores anything at all (it gates
+// whether Submit bothers to canonicalize).
+func (c *verdictCache) enabled() bool { return c.cap > 0 || c.store != nil }
 
 // get returns the cached Result for (engine, config, canonical
 // formula), with the stored model translated into the requester's
-// variable space.
+// variable space. An LRU miss falls through to the durable store; a
+// store hit is promoted into the LRU on its way out.
 func (c *verdictCache) get(engine, cfg string, canon *cnf.Canonical) (solver.Result, bool) {
 	if !c.enabled() {
 		return solver.Result{}, false
@@ -83,21 +101,52 @@ func (c *verdictCache) get(engine, cfg string, canon *cnf.Canonical) (solver.Res
 		res.Assignment = canon.FromCanonical(e.model)
 		return res, true
 	}
+	if c.store != nil {
+		if rec, ok := c.store.Get(engine, cfg, canon.Fingerprint()); ok {
+			e := &cacheEntry{key: key, res: rec.Result, model: rec.Result.Assignment}
+			e.res.Assignment = nil
+			c.insertLocked(key, e)
+			res := e.res
+			res.Assignment = canon.FromCanonical(e.model)
+			return res, true
+		}
+	}
 	c.misses++
 	return solver.Result{}, false
 }
 
-// put stores a definitive result. UNKNOWN (or an errored solve — the
-// caller never offers one) is rejected: see the type comment.
+// put stores a definitive result in both tiers. UNKNOWN (or an errored
+// solve — the caller never offers one) is rejected: see the type
+// comment.
 func (c *verdictCache) put(engine, cfg string, canon *cnf.Canonical, res solver.Result) {
-	if c.cap <= 0 || !res.Status.Definitive() {
+	if !c.enabled() || !res.Status.Definitive() {
 		return
 	}
 	key := cacheKey(engine, cfg, canon.Fingerprint())
 	e := &cacheEntry{key: key, res: res, model: canon.ToCanonical(res.Assignment)}
 	e.res.Assignment = nil
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.insertLocked(key, e)
+	c.mu.Unlock()
+	if c.store != nil {
+		storeRes := e.res
+		storeRes.Assignment = e.model
+		// Best-effort write-through: a full disk must not fail the job
+		// whose verdict was just earned — the LRU still has it, and the
+		// next process can re-earn it.
+		_ = c.store.Put(verdictstore.Record{
+			Engine: engine, ConfigKey: cfg, Fingerprint: canon.Fingerprint(),
+			Result: storeRes,
+		})
+	}
+}
+
+// insertLocked installs e under key in the LRU tier (a no-op when the
+// LRU is disabled). Caller holds c.mu.
+func (c *verdictCache) insertLocked(key string, e *cacheEntry) {
+	if c.cap <= 0 {
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		el.Value = e
@@ -117,4 +166,13 @@ func (c *verdictCache) stats() (hits, misses, evictions, entries int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions, int64(len(c.entries))
+}
+
+// storeStats returns the durable tier's counters and whether a store
+// is attached at all.
+func (c *verdictCache) storeStats() (verdictstore.Stats, bool) {
+	if c.store == nil {
+		return verdictstore.Stats{}, false
+	}
+	return c.store.Stats(), true
 }

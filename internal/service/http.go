@@ -27,11 +27,9 @@
 package service
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
 	"net/url"
@@ -53,7 +51,10 @@ const maxBodyBytes = 16 << 20
 // goroutines inside one.
 const maxSolveWorkers = 64
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. With Config.NodeID set,
+// every response carries an X-NBL-Node header naming this replica, so
+// a request that reached the node through the fleet router is
+// attributable without consulting any logs.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", s.handleSolve)
@@ -64,7 +65,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	if s.cfg.NodeID == "" {
+		return mux
+	}
+	node := s.cfg.NodeID
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-NBL-Node", node)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // jobJSON is the wire form of a job snapshot.
@@ -235,7 +243,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	job, err := s.Submit(f, opts)
 	if err != nil {
-		writeError(w, submitErrorCode(err), err)
+		s.writeSubmitError(w, err)
 		return
 	}
 
@@ -261,6 +269,25 @@ func submitErrorCode(err error) int {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
+}
+
+// writeSubmitError writes a Submit failure, attaching the remaining
+// drain grace as a Retry-After header to shutdown 503s so clients (and
+// the fleet router's failover) know when this node is worth retrying.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	s.setRetryAfter(w, err)
+	writeError(w, submitErrorCode(err), err)
+}
+
+// setRetryAfter adds the Retry-After header for a drain rejection when
+// the remaining grace is known.
+func (s *Server) setRetryAfter(w http.ResponseWriter, err error) {
+	if !errors.Is(err, ErrShuttingDown) {
+		return
+	}
+	if secs, ok := s.RetryAfterSeconds(); ok {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 }
 
 // maxBatchInstances bounds one batch submission; anything larger than
@@ -290,7 +317,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	chunks, err := splitDIMACSBatch(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	chunks, err := dimacs.SplitBatch(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -325,6 +352,9 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			items[i].Error = err.Error()
 			items[i].Code = submitErrorCode(err)
+			// A drain rejection stamps the whole response's Retry-After:
+			// the remaining instances will be refused for the same reason.
+			s.setRetryAfter(w, err)
 			continue
 		}
 		jj := snapshotJSON(job.Snapshot())
@@ -342,51 +372,6 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, code, items)
-}
-
-// splitDIMACSBatch cuts a concatenation of DIMACS documents into one
-// chunk per instance: a "p" problem line starts a new instance, a
-// SATLIB "%" trailer ends one (junk between a trailer and the next
-// problem line — the trailer's "0", blank lines — is dropped).
-// Comments before the first problem line attach to the first instance.
-func splitDIMACSBatch(r io.Reader) ([]string, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var (
-		chunks   []string
-		cur      strings.Builder
-		sawProb  bool
-		trailing bool // between a "%" trailer and the next problem line
-	)
-	flush := func() {
-		if cur.Len() > 0 {
-			chunks = append(chunks, cur.String())
-			cur.Reset()
-		}
-	}
-	for sc.Scan() {
-		line := sc.Text()
-		t := strings.TrimSpace(line)
-		switch {
-		case strings.HasPrefix(t, "p"):
-			if sawProb {
-				flush()
-			}
-			sawProb = true
-			trailing = false
-		case strings.HasPrefix(t, "%"):
-			trailing = sawProb
-		case trailing:
-			continue
-		}
-		cur.WriteString(line)
-		cur.WriteByte('\n')
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	flush()
-	return chunks, nil
 }
 
 func boolParam(v string) bool {
@@ -500,7 +485,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var g gauges
 	g.queued, g.running = s.Counts()
 	g.cacheHits, g.cacheMisses, g.cacheEvictions, g.cacheEntries = s.cache.stats()
+	g.store, g.storePresent = s.cache.storeStats()
 	g.pool = enginepool.Default.Stats()
+	g.node = s.cfg.NodeID
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w, g)
 }

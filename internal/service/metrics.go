@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/enginepool"
+	"repro/internal/verdictstore"
 )
 
 // metrics is the service's observability state, exposed in Prometheus
@@ -102,7 +103,10 @@ func (m *metrics) jobFinished(state string, engine string, samples int64, wall t
 type gauges struct {
 	queued, running                                      int64
 	cacheHits, cacheMisses, cacheEvictions, cacheEntries int64
+	store                                                verdictstore.Stats
+	storePresent                                         bool
 	pool                                                 enginepool.Stats
+	node                                                 string
 }
 
 // write emits the exposition document. Queue/running/cache/pool gauges
@@ -125,6 +129,12 @@ func (m *metrics) render(w *bytes.Buffer, g gauges) {
 	fmt.Fprintln(w, "# HELP nblserve_up Whether the service is serving (always 1 on a scrape).")
 	fmt.Fprintln(w, "# TYPE nblserve_up gauge")
 	fmt.Fprintln(w, "nblserve_up 1")
+
+	if g.node != "" {
+		fmt.Fprintln(w, "# HELP nblserve_node_info This replica's fleet node id, as a label.")
+		fmt.Fprintln(w, "# TYPE nblserve_node_info gauge")
+		fmt.Fprintf(w, "nblserve_node_info{node=%q} 1\n", g.node)
+	}
 
 	fmt.Fprintln(w, "# HELP nblserve_uptime_seconds Seconds since the service started.")
 	fmt.Fprintln(w, "# TYPE nblserve_uptime_seconds gauge")
@@ -174,6 +184,26 @@ func (m *metrics) render(w *bytes.Buffer, g gauges) {
 	fmt.Fprintln(w, "# HELP nblserve_cache_entries Live verdict-cache entries.")
 	fmt.Fprintln(w, "# TYPE nblserve_cache_entries gauge")
 	fmt.Fprintf(w, "nblserve_cache_entries %d\n", entries)
+
+	// Durable verdict-store tier (only when a store is attached: an
+	// absent family reads as "no store", a zero as "store, no traffic").
+	if g.storePresent {
+		fmt.Fprintln(w, "# HELP nblserve_store_hits_total Verdict-store (durable tier) hits on LRU misses.")
+		fmt.Fprintln(w, "# TYPE nblserve_store_hits_total counter")
+		fmt.Fprintf(w, "nblserve_store_hits_total %d\n", g.store.Hits)
+		fmt.Fprintln(w, "# HELP nblserve_store_misses_total Verdict-store lookups that missed both tiers.")
+		fmt.Fprintln(w, "# TYPE nblserve_store_misses_total counter")
+		fmt.Fprintf(w, "nblserve_store_misses_total %d\n", g.store.Misses)
+		fmt.Fprintln(w, "# HELP nblserve_store_flushes_total Verdict records appended (each append is one flushed write).")
+		fmt.Fprintln(w, "# TYPE nblserve_store_flushes_total counter")
+		fmt.Fprintf(w, "nblserve_store_flushes_total %d\n", g.store.Appends)
+		fmt.Fprintln(w, "# HELP nblserve_store_entries Live verdict-store records (loaded + appended, deduplicated).")
+		fmt.Fprintln(w, "# TYPE nblserve_store_entries gauge")
+		fmt.Fprintf(w, "nblserve_store_entries %d\n", g.store.Entries)
+		fmt.Fprintln(w, "# HELP nblserve_store_torn_bytes Bytes dropped as a torn tail when the store was opened.")
+		fmt.Fprintln(w, "# TYPE nblserve_store_torn_bytes gauge")
+		fmt.Fprintf(w, "nblserve_store_torn_bytes %d\n", g.store.TornBytes)
+	}
 
 	// Engine lease pool: the warm-hit economics of the shared engine
 	// lifecycle. Occupancy label cardinality is bounded by the pool's

@@ -40,6 +40,7 @@ package service
 import (
 	"context"
 	"errors"
+	"math"
 	"strconv"
 	"sync"
 	"time"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/enginepool"
 	"repro/internal/solver"
+	"repro/internal/verdictstore"
 )
 
 // State is a job's lifecycle phase.
@@ -83,6 +85,16 @@ type Config struct {
 	// MaxJobs bounds the retained job table (default 65536). Oldest
 	// terminal jobs are evicted first; active jobs are never evicted.
 	MaxJobs int
+	// Store is an optional durable verdict tier under the LRU cache:
+	// definitive verdicts write through to it and survive restarts (see
+	// internal/verdictstore). The caller owns the store's lifecycle
+	// (Open before NewServer, Close after Shutdown).
+	Store *verdictstore.Store
+	// NodeID names this replica in a fleet: when non-empty every HTTP
+	// response carries it as an X-NBL-Node header and /metrics exports
+	// it as a node label, so a request routed through nblrouter is
+	// attributable end to end.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -147,12 +159,13 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu        sync.Mutex
-	cond      *sync.Cond // signaled on pending-queue pushes and shutdown
-	accepting bool
-	jobs      map[string]*Job
-	jobOrder  []string // submission order, for listing and eviction
-	nextID    uint64
+	mu         sync.Mutex
+	cond       *sync.Cond // signaled on pending-queue pushes and shutdown
+	accepting  bool
+	drainUntil time.Time // grace deadline once Shutdown begins (zero: none known)
+	jobs       map[string]*Job
+	jobOrder   []string // submission order, for listing and eviction
+	nextID     uint64
 	// pending is the backlog deque. A slice (not a channel) on purpose:
 	// cancelling a queued job removes it here immediately, so a
 	// cancelled job never occupies backlog capacity as a tombstone.
@@ -170,7 +183,7 @@ func NewServer(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
-		cache:      newVerdictCache(cfg.CacheEntries),
+		cache:      newVerdictCache(cfg.CacheEntries, cfg.Store),
 		met:        newMetrics(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -509,6 +522,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.accepting = false
+	// Remember the grace deadline: submissions rejected from here on
+	// carry it back to clients as a Retry-After, so a router failing
+	// over knows exactly how long to route around this node.
+	if dl, ok := ctx.Deadline(); ok {
+		s.drainUntil = dl
+	}
 	s.cond.Broadcast() // wake parked workers so they can drain and exit
 	s.mu.Unlock()
 
@@ -527,6 +546,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.baseCancel()
 	return err
+}
+
+// RetryAfterSeconds reports how many whole seconds of drain grace
+// remain once Shutdown has begun — the value a 503 carries as its
+// Retry-After header. ok is false while the server is accepting or
+// when the drain has no deadline; the result is clamped to at least 1
+// (a zero Retry-After reads as "retry immediately", the one thing a
+// draining node must not invite).
+func (s *Server) RetryAfterSeconds() (secs int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.accepting || s.drainUntil.IsZero() {
+		return 0, false
+	}
+	secs = int(math.Ceil(time.Until(s.drainUntil).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs, true
 }
 
 // Counts returns the live queue/running gauges.

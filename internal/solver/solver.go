@@ -449,10 +449,40 @@ type Factory func(cfg Config) Solver
 type MetaFactory func(inner string, cfg Config) (Solver, error)
 
 var (
-	regMu    sync.RWMutex
-	registry = map[string]Factory{}
-	metas    = map[string]MetaFactory{}
+	regMu     sync.RWMutex
+	registry  = map[string]Factory{}
+	metas     = map[string]MetaFactory{}
+	stateless = map[string]bool{}
 )
+
+// MarkStateless declares that the named engine or meta shell holds no
+// geometry-sized state of its own: its Reset is unconditionally warm
+// because the warmth lives elsewhere (a pre shell's inner engines, a
+// portfolio's members — each leased separately from the pool). The
+// engine lease pool keys such expressions geometry-free, so one idle
+// shell serves every (n, m) instead of occupying one LRU slot per
+// geometry class it ever touched. Typically called from the same init
+// that registers the engine.
+func MarkStateless(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	stateless[name] = true
+}
+
+// Stateless reports whether the engine expression's top-level name —
+// "pre" for "pre(mc)", the name itself for a plain engine — is marked
+// stateless. Only the top level matters: a stateless shell around a
+// stateful inner engine is still a stateless *instance*, because the
+// inner engine is leased per-solve, not held by the shell.
+func Stateless(expr string) bool {
+	name := expr
+	if meta, _, ok := splitMeta(expr); ok {
+		name = meta
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return stateless[name]
+}
 
 // Register installs an engine factory under a name. It panics on a
 // duplicate name: engine names are a flat public namespace and a silent
