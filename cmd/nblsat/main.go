@@ -3,7 +3,16 @@
 //
 // Usage:
 //
-//	nblsat [flags] [file.cnf]     (stdin when no file is given)
+//	nblsat [flags] [file.cnf]               (stdin when no file is given)
+//	nblsat -task equivalent a.cnf b.cnf     (equivalence needs two files)
+//
+// Tasks (-task): decide (default) asks SAT/UNSAT; count asks for the
+// exact model count; weighted-count asks for the clause-cover-weighted
+// count K' from the paper's E[S_N] = K'·σ^(2nm) identity; equivalent
+// asks whether two CNFs agree on every assignment (lowered to a decide
+// on their miter — UNSAT certifies equivalence). Counting tasks default
+// to the exact counting engines (count/wcount) unless -engine names one
+// explicitly.
 //
 // Engines (see repro.Engines()): mc (Monte-Carlo NBL, default), exact
 // (infinite-sample NBL), rtw (integer-exact telegraph waves), sbl
@@ -60,11 +69,19 @@ func main() {
 				"Shorthand for -engine pre(<engine>)")
 		sol = flag.Bool("sol", false,
 			"emit the verdict in SAT-competition format (s/v lines) on stdout")
+		taskName = flag.String("task", "decide",
+			"what to produce: decide|count|weighted-count|equivalent "+
+				"(equivalent takes two CNF file arguments)")
 	)
 	flag.Parse()
 	solMode = *sol
 
-	f, err := readInstance(flag.Arg(0))
+	task, err := repro.ParseTask(*taskName)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := readTaskInstance(task)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,6 +93,14 @@ func main() {
 		f.NumVars, f.NumClauses(), f.NumLiterals())
 
 	engineName := *engine
+	if task == repro.TaskCount && engineName == "mc" {
+		// The sampling default cannot count; swap in the exact counter
+		// unless the user named an engine themselves.
+		engineName = "count"
+	}
+	if task == repro.TaskWeightedCount && engineName == "mc" {
+		engineName = "wcount"
+	}
 	if *prep {
 		// The pipeline meta-engine subsumes the old inline preprocessing:
 		// it simplifies, short-circuits on preprocessing-proved verdicts,
@@ -93,6 +118,11 @@ func main() {
 		repro.WithFamily(*family),
 		repro.WithAllocation(*alloc),
 		repro.WithModel(*assign),
+	}
+	if task == repro.TaskCount || task == repro.TaskWeightedCount {
+		// Equivalence is already lowered to a plain decide on the miter;
+		// only counting tasks change what the engine must produce.
+		opts = append(opts, repro.WithTask(task))
 	}
 	if *members != "" {
 		var lineup []string
@@ -122,7 +152,7 @@ func main() {
 	if err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintf(info, "%s: %v after %v (stats: %+v)\n", engineName, err, res.Wall, res.Stats)
-			report(f, res) // UNKNOWN
+			report(task, f, res) // UNKNOWN
 			return
 		}
 		fatal(err)
@@ -132,7 +162,7 @@ func main() {
 		verdictBy = engineName + " (won by " + res.Engine + ")"
 	}
 	fmt.Fprintf(info, "engine %s: %v in %v (stats: %+v)\n", verdictBy, res.Status, res.Wall, res.Stats)
-	report(f, res)
+	report(task, f, res)
 }
 
 // solMode is set from the -sol flag; report honors it by emitting
@@ -140,7 +170,29 @@ func main() {
 var solMode bool
 
 // report prints the verdict and exits with the SAT-competition code.
-func report(f *repro.Formula, r repro.Result) {
+// Counting tasks print the count; equivalence prints the lifted verdict
+// (the miter's UNSAT means the pair is equivalent) but keeps the
+// underlying miter status for the exit code.
+func report(task repro.Task, f *repro.Formula, r repro.Result) {
+	if task == repro.TaskEquivalent {
+		switch r.Status {
+		case repro.StatusUnsat:
+			fmt.Println("EQUIVALENT")
+		case repro.StatusSat:
+			fmt.Println("NOT EQUIVALENT")
+		default:
+			fmt.Println("UNKNOWN")
+		}
+		exit(r.Status)
+	}
+	if (task == repro.TaskCount || task == repro.TaskWeightedCount) && r.Count != nil {
+		label := "models"
+		if task == repro.TaskWeightedCount {
+			label = "K'"
+		}
+		fmt.Printf("%s: %s\n", label, r.Count)
+		exit(r.Status)
+	}
 	if solMode {
 		if r.Status == repro.StatusSat && r.Assignment == nil {
 			// Check-style NBL engines certify SAT without a model; there
@@ -161,7 +213,12 @@ func report(f *repro.Formula, r repro.Result) {
 			fmt.Println("UNKNOWN")
 		}
 	}
-	switch r.Status {
+	exit(r.Status)
+}
+
+// exit maps a verdict to its SAT-competition exit code.
+func exit(status repro.Status) {
+	switch status {
 	case repro.StatusSat:
 		os.Exit(exitSat)
 	case repro.StatusUnsat:
@@ -169,6 +226,27 @@ func report(f *repro.Formula, r repro.Result) {
 	default:
 		os.Exit(exitUnknown)
 	}
+}
+
+// readTaskInstance reads the solve input for the given task: one CNF
+// (file argument or stdin) for decide and the counting tasks, or two
+// CNF files lowered to their miter for equivalence.
+func readTaskInstance(task repro.Task) (*repro.Formula, error) {
+	if task != repro.TaskEquivalent {
+		return readInstance(flag.Arg(0))
+	}
+	if flag.NArg() != 2 {
+		return nil, fmt.Errorf("-task equivalent needs exactly 2 CNF file arguments, got %d", flag.NArg())
+	}
+	a, err := readInstance(flag.Arg(0))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", flag.Arg(0), err)
+	}
+	b, err := readInstance(flag.Arg(1))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", flag.Arg(1), err)
+	}
+	return repro.EquivalenceCNF(a, b)
 }
 
 func readInstance(path string) (*repro.Formula, error) {

@@ -19,6 +19,11 @@
 //	          header and a node label on /metrics
 //	          (default hostname:port after the listen address resolves)
 //	-engine   default engine expression (default pre(portfolio))
+//	-max-count-vars
+//	          variable bound for counting tasks (task=count,
+//	          task=weighted-count); larger instances are rejected with
+//	          400 instead of tying up a worker on an exponential
+//	          enumeration (default 64; negative disables the bound)
 //	-drain    graceful-shutdown grace period (default 30s)
 //
 // API sketch (see internal/service for the full surface):
@@ -64,23 +69,25 @@ func main() {
 		defWorkers = 8
 	}
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7797", "listen address (host:port; :0 picks a free port)")
-		workers = flag.Int("workers", defWorkers, "solve-pool size (bounds concurrent engine work)")
-		queue   = flag.Int("queue", 256, "job queue depth before submissions are rejected with 503")
-		cache   = flag.Int("cache", 4096, "verdict cache entries (negative disables caching)")
-		store   = flag.String("store", "", "durable verdict store file (empty disables persistence)")
-		nodeID  = flag.String("node-id", "", "fleet node name for X-NBL-Node and metrics (default hostname:port)")
-		engine  = flag.String("engine", "pre(portfolio)", "default engine expression for submissions that name none")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight jobs")
+		addr         = flag.String("addr", "127.0.0.1:7797", "listen address (host:port; :0 picks a free port)")
+		workers      = flag.Int("workers", defWorkers, "solve-pool size (bounds concurrent engine work)")
+		queue        = flag.Int("queue", 256, "job queue depth before submissions are rejected with 503")
+		cache        = flag.Int("cache", 4096, "verdict cache entries (negative disables caching)")
+		store        = flag.String("store", "", "durable verdict store file (empty disables persistence)")
+		nodeID       = flag.String("node-id", "", "fleet node name for X-NBL-Node and metrics (default hostname:port)")
+		engine       = flag.String("engine", "pre(portfolio)", "default engine expression for submissions that name none")
+		maxCountVars = flag.Int("max-count-vars", 64,
+			"variable bound for counting tasks; above it submissions get 400 (negative disables)")
+		drain = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight jobs")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *store, *nodeID, *engine, *drain); err != nil {
+	if err := run(*addr, *workers, *queue, *cache, *store, *nodeID, *engine, *maxCountVars, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "nblserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, storePath, nodeID, engine string, drain time.Duration) error {
+func run(addr string, workers, queue, cache int, storePath, nodeID, engine string, maxCountVars int, drain time.Duration) error {
 	// Listen before constructing the server: the default node id embeds
 	// the resolved port (":0" expansion included), and a busy address
 	// should fail before a store file is opened.
@@ -118,6 +125,7 @@ func run(addr string, workers, queue, cache int, storePath, nodeID, engine strin
 		QueueDepth:    queue,
 		CacheEntries:  cache,
 		DefaultEngine: engine,
+		MaxCountVars:  maxCountVars,
 		Store:         vs,
 		NodeID:        nodeID,
 	})

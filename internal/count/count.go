@@ -14,6 +14,7 @@
 package count
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -77,13 +78,62 @@ func WeightedBrute(f *cnf.Formula) *big.Int {
 	return total
 }
 
+// CountStats reports the work a DPLL count performed, the counting
+// analogue of a decide engine's sample/flip counters.
+type CountStats struct {
+	// Decisions counts branching choices taken by the DPLL recursion.
+	Decisions int64
+	// Propagations counts variables forced by unit propagation.
+	Propagations int64
+}
+
+// counter threads cancellation and work counters through the DPLL
+// recursion without changing the algorithm: poll() is checked on every
+// recursion step but only consults the context every 1024 calls, so
+// cancellation costs one atomic-free counter increment per node.
+type counter struct {
+	ctx  context.Context
+	tick int
+	st   CountStats
+	err  error
+}
+
+// poll reports whether the count may continue. Once it returns false
+// every in-flight recursion unwinds fast: the partial results it
+// returns are discarded because CountContext surfaces the error.
+func (c *counter) poll() bool {
+	if c.err != nil {
+		return false
+	}
+	c.tick++
+	if c.tick&1023 == 0 {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return false
+		}
+	}
+	return true
+}
+
 // Count returns the exact number of satisfying assignments of f using
 // DPLL with unit propagation and connected-component decomposition.
 // Variables that appear in no clause contribute a factor of 2 each.
 func Count(f *cnf.Formula) *big.Int {
+	// context.Background never cancels, so the error is impossible.
+	result, _, _ := CountContext(context.Background(), f)
+	return result
+}
+
+// CountContext is Count with cancellation and work accounting: the
+// returned stats are valid even on error, and a context cancellation
+// surfaces as ctx.Err() with an unusable (nil) count. This is the entry
+// point the counting engines use; Count keeps the oracle-style
+// signature for tests.
+func CountContext(ctx context.Context, f *cnf.Formula) (*big.Int, CountStats, error) {
+	c := &counter{ctx: ctx}
 	g, hasEmpty := f.Simplify()
 	if hasEmpty {
-		return new(big.Int)
+		return new(big.Int), c.st, nil
 	}
 	mentioned := g.Vars()
 	free := g.NumVars - len(mentioned)
@@ -102,11 +152,14 @@ func Count(f *cnf.Formula) *big.Int {
 		h.AddClause(d)
 	}
 
-	result := countComponents(h)
+	result := c.countComponents(h)
+	if c.err != nil {
+		return nil, c.st, c.err
+	}
 	if free > 0 {
 		result.Mul(result, new(big.Int).Lsh(big.NewInt(1), uint(free)))
 	}
-	return result
+	return result, c.st, nil
 }
 
 // IsSatisfiable reports whether f has at least one model. It shares the
@@ -118,12 +171,15 @@ func IsSatisfiable(f *cnf.Formula) bool {
 // countComponents splits the formula into connected components of its
 // variable-interaction graph and multiplies their counts. All variables
 // of h must be mentioned (callers compact first).
-func countComponents(h *cnf.Formula) *big.Int {
+func (c *counter) countComponents(h *cnf.Formula) *big.Int {
 	comps := components(h)
 	result := big.NewInt(1)
 	for _, comp := range comps {
-		c := countDPLL(comp, newPartial(comp.NumVars))
-		result.Mul(result, c)
+		n := c.countDPLL(comp, newPartial(comp.NumVars))
+		if c.err != nil {
+			return result
+		}
+		result.Mul(result, n)
 		if result.Sign() == 0 {
 			return result
 		}
@@ -223,7 +279,10 @@ func (p *partial) lit(l cnf.Lit) cnf.Value {
 // countDPLL counts models of h consistent with p. The count includes the
 // 2^unassigned factor for variables left free when all clauses are
 // satisfied.
-func countDPLL(h *cnf.Formula, p *partial) *big.Int {
+func (ct *counter) countDPLL(h *cnf.Formula, p *partial) *big.Int {
+	if !ct.poll() {
+		return new(big.Int)
+	}
 	// Unit propagation. Track trail for backtracking.
 	var trail []cnf.Var
 	undo := func() {
@@ -262,6 +321,7 @@ func countDPLL(h *cnf.Formula, p *partial) *big.Int {
 				}
 				p.set(unassigned.Var(), val)
 				trail = append(trail, unassigned.Var())
+				ct.st.Propagations++
 				progress = true
 			}
 		}
@@ -297,9 +357,10 @@ func countDPLL(h *cnf.Formula, p *partial) *big.Int {
 	}
 
 	total := new(big.Int)
+	ct.st.Decisions++
 	for _, val := range []cnf.Value{cnf.True, cnf.False} {
 		p.set(branch, val)
-		total.Add(total, countDPLL(h, p))
+		total.Add(total, ct.countDPLL(h, p))
 		p.unset(branch)
 	}
 	undo()

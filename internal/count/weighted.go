@@ -1,6 +1,7 @@
 package count
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -19,9 +20,24 @@ import (
 // literals or general tautologies changes per-clause satisfied-literal
 // multiplicities and hence K'.
 func Weighted(f *cnf.Formula) *big.Int {
+	// context.Background never cancels, so the only possible error is
+	// the component-size bound — preserved as the historical panic.
+	total, err := WeightedContext(context.Background(), f)
+	if err != nil {
+		panic(err.Error())
+	}
+	return total
+}
+
+// WeightedContext is Weighted with cancellation and a recoverable
+// size bound: an oversized component surfaces as an error instead of a
+// panic (same message text), so the wcount engine can reject a formula
+// without killing its worker. This is the entry point services use;
+// Weighted keeps the oracle-style signature for tests.
+func WeightedContext(ctx context.Context, f *cnf.Formula) (*big.Int, error) {
 	for _, c := range f.Clauses {
 		if len(c) == 0 {
-			return new(big.Int)
+			return new(big.Int), nil
 		}
 	}
 	// Union-find over variables through shared clauses.
@@ -73,23 +89,30 @@ func Weighted(f *cnf.Formula) *big.Int {
 	for root, clauses := range compClauses {
 		vars := compVars[root]
 		if len(vars) > maxBruteVars {
-			panic(fmt.Sprintf("count: Weighted component has %d variables, limit %d",
-				len(vars), maxBruteVars))
+			return nil, fmt.Errorf("count: Weighted component has %d variables, limit %d",
+				len(vars), maxBruteVars)
 		}
-		total.Mul(total, weightedComponent(clauses, vars))
+		w, err := weightedComponent(ctx, clauses, vars)
+		if err != nil {
+			return nil, err
+		}
+		total.Mul(total, w)
 		if total.Sign() == 0 {
-			return total
+			return total, nil
 		}
 	}
 	if free > 0 {
 		total.Mul(total, new(big.Int).Lsh(big.NewInt(1), uint(free)))
 	}
-	return total
+	return total, nil
 }
 
 // weightedComponent enumerates the component's local assignments and
-// sums the per-clause satisfied-literal products.
-func weightedComponent(clauses []cnf.Clause, vars []cnf.Var) *big.Int {
+// sums the per-clause satisfied-literal products. The context is
+// polled every 4096 assignments: enumeration is exponential in the
+// component's variable count, so a cancelled request must not hold a
+// worker for the remainder of 2^n iterations.
+func weightedComponent(ctx context.Context, clauses []cnf.Clause, vars []cnf.Var) (*big.Int, error) {
 	index := make(map[cnf.Var]int, len(vars))
 	for i, v := range vars {
 		index[v] = i
@@ -97,6 +120,11 @@ func weightedComponent(clauses []cnf.Clause, vars []cnf.Var) *big.Int {
 	total := new(big.Int)
 	w := new(big.Int)
 	for bits := uint64(0); bits < 1<<uint(len(vars)); bits++ {
+		if bits&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		w.SetInt64(1)
 		sat := true
 		for _, c := range clauses {
@@ -120,5 +148,5 @@ func weightedComponent(clauses []cnf.Clause, vars []cnf.Var) *big.Int {
 			total.Add(total, w)
 		}
 	}
-	return total
+	return total, nil
 }

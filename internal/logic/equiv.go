@@ -1,0 +1,75 @@
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// FromCNF lifts a CNF formula into a single-output circuit: each clause
+// becomes an OR of (possibly negated) inputs, the clauses feed one AND,
+// and the AND is the sole output. Input i corresponds to variable i+1,
+// so two formulas over the same variable space lift to circuits with
+// identical input order — the property EquivalenceCNF's miter relies
+// on. Degenerate formulas lift to constants: no clauses is the constant
+// true, an empty clause the constant false.
+func FromCNF(f *cnf.Formula) *Circuit {
+	c := New()
+	inputs := make([]Node, f.NumVars)
+	for i := range inputs {
+		inputs[i] = c.NewInput(fmt.Sprintf("x%d", i+1))
+	}
+	var out Node
+	if f.NumClauses() == 0 {
+		out = c.Const(true)
+	} else {
+		conj := make([]Node, 0, f.NumClauses())
+		empty := false
+		for _, cl := range f.Clauses {
+			if len(cl) == 0 {
+				empty = true
+				break
+			}
+			lits := make([]Node, len(cl))
+			for i, l := range cl {
+				n := inputs[l.Var()-1]
+				if l.IsNeg() {
+					n = c.Not(n)
+				}
+				lits[i] = n
+			}
+			conj = append(conj, c.Or(lits...))
+		}
+		if empty {
+			out = c.Const(false)
+		} else {
+			out = c.And(conj...)
+		}
+	}
+	c.MarkOutput(out)
+	return c
+}
+
+// EquivalenceCNF lowers "are a and b equivalent?" to a decide instance:
+// it lifts both formulas to circuits, builds their miter, and Tseitin-
+// encodes it with the miter output asserted true. The result is SAT
+// exactly when the formulas disagree on some assignment — UNSAT of the
+// returned formula certifies equivalence. Both formulas must range over
+// the same number of variables (the miter shares inputs positionally).
+//
+// The miter's shared inputs are created first, so variables 1..n of the
+// returned formula are the original inputs: a model of the returned
+// formula reads directly as a distinguishing assignment.
+func EquivalenceCNF(a, b *cnf.Formula) (*cnf.Formula, error) {
+	if a.NumVars != b.NumVars {
+		return nil, fmt.Errorf("logic: equivalence check needs matching variable counts, got %d vs %d",
+			a.NumVars, b.NumVars)
+	}
+	m, err := Miter(FromCNF(a), FromCNF(b))
+	if err != nil {
+		return nil, err
+	}
+	enc := Tseitin(m)
+	enc.AssertTrue(m.Outputs()[0])
+	return enc.F, nil
+}

@@ -1,0 +1,111 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/dpll"
+)
+
+// TestFromCNFTruthTable checks the circuit lowering against the formula
+// itself on every assignment of a small instance.
+func TestFromCNFTruthTable(t *testing.T) {
+	f := cnf.FromClauses([]int{1, -2}, []int{2, 3}, []int{-1, -3})
+	c := FromCNF(f)
+	if got := len(c.Inputs()); got != f.NumVars {
+		t.Fatalf("inputs = %d, want %d", got, f.NumVars)
+	}
+	if got := len(c.Outputs()); got != 1 {
+		t.Fatalf("outputs = %d, want 1", got)
+	}
+	n := f.NumVars
+	for bits := 0; bits < 1<<n; bits++ {
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = bits>>i&1 == 1
+		}
+		want := cnf.AssignmentFromBits(uint64(bits), n).Satisfies(f)
+		if got := c.Eval(vals)[0]; got != want {
+			t.Errorf("bits %0*b: circuit %v, formula %v", n, bits, got, want)
+		}
+	}
+}
+
+func TestFromCNFDegenerate(t *testing.T) {
+	// No clauses: the constant-true circuit.
+	c := FromCNF(cnf.New(2))
+	if got := c.Eval([]bool{false, false})[0]; !got {
+		t.Error("empty formula circuit is not constant true")
+	}
+	// An empty clause: constant false regardless of inputs.
+	f := cnf.New(1)
+	f.AddClause(cnf.Clause{})
+	c = FromCNF(f)
+	if got := c.Eval([]bool{true})[0]; got {
+		t.Error("empty-clause circuit is not constant false")
+	}
+}
+
+// equivalent decides the miter with DPLL: UNSAT certifies equivalence.
+func equivalent(t *testing.T, a, b *cnf.Formula) bool {
+	t.Helper()
+	m, err := EquivalenceCNF(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sat := dpll.Solve(m)
+	return !sat
+}
+
+func TestEquivalenceCNF(t *testing.T) {
+	a := cnf.FromClauses([]int{1, 2}, []int{-1, 2})
+	// b is a renamed-literal-order presentation of the same function
+	// (both say "2 must hold whenever 1 does not, and also when it does"
+	// — i.e. x2 is forced).
+	b := cnf.FromClauses([]int{2, -1}, []int{2, 1})
+	if !equivalent(t, a, a) {
+		t.Error("a is not equivalent to itself")
+	}
+	if !equivalent(t, a, b) {
+		t.Error("reordered presentation judged inequivalent")
+	}
+	// c differs from a on the assignment x1=true, x2=false.
+	c := cnf.FromClauses([]int{1, 2})
+	if equivalent(t, a, c) {
+		t.Error("distinct functions judged equivalent")
+	}
+	// Mismatched variable counts are a usage error, not a verdict.
+	if _, err := EquivalenceCNF(a, cnf.New(3)); err == nil ||
+		!strings.Contains(err.Error(), "matching variable counts") {
+		t.Errorf("variable-count mismatch not rejected: %v", err)
+	}
+}
+
+// TestEquivalenceCNFInputVariables pins the layout contract: variables
+// 1..n of the miter CNF are the shared original inputs, so a model of
+// the miter reads back directly as a distinguishing assignment.
+func TestEquivalenceCNFInputVariables(t *testing.T) {
+	a := cnf.FromClauses([]int{1, 2})
+	b := cnf.FromClauses([]int{1}, []int{2})
+	m, err := EquivalenceCNF(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, sat := dpll.Solve(m)
+	if !sat {
+		t.Fatal("a and b differ yet the miter is UNSAT")
+	}
+	// Read the first two variables as the distinguishing input pair and
+	// check the two formulas really disagree there.
+	bits := uint64(0)
+	for v := 1; v <= 2; v++ {
+		if model.Get(cnf.Var(v)) == cnf.True {
+			bits |= 1 << (v - 1)
+		}
+	}
+	asn := cnf.AssignmentFromBits(bits, 2)
+	if asn.Satisfies(a) == asn.Satisfies(b) {
+		t.Errorf("miter model %v is not a distinguishing assignment", asn)
+	}
+}

@@ -42,6 +42,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"math/big"
 	"sync"
 
 	"repro/internal/cnf"
@@ -57,6 +58,10 @@ func init() {
 	// The shell holds no geometry-sized state (Reset is always warm);
 	// the lease pool keys it geometry-free.
 	solver.MarkStateless("pre")
+	// The pipeline is count-safe (solveCount/solveWeighted pick
+	// count-preserving stages), so pre(count) and pre(wcount) work;
+	// NewWith intersects this list with the inner engine's own tasks.
+	solver.RegisterTasks("pre", solver.TaskDecide, solver.TaskCount, solver.TaskWeightedCount)
 }
 
 // Pipeline is the preprocess-and-decompose meta-engine around one inner
@@ -91,8 +96,22 @@ func New(inner string, cfg solver.Config) (*Pipeline, error) {
 // from the pool — so any instance is reusable as-is for any formula.
 func (p *Pipeline) Reset(f *cnf.Formula) bool { return true }
 
-// Solve implements solver.Solver.
+// Solve implements solver.Solver, dispatching on the configured task:
+// counting tasks take count-preserving variants of the pipeline, decide
+// takes the full reduction.
 func (p *Pipeline) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	switch p.cfg.Task {
+	case solver.TaskCount:
+		return p.solveCount(ctx, f)
+	case solver.TaskWeightedCount:
+		return p.solveWeighted(ctx, f)
+	}
+	return p.solveDecide(ctx, f)
+}
+
+// solveDecide is the original decide pipeline: full Simplify,
+// short-circuits, Decompose, fan out, merge verdicts.
+func (p *Pipeline) solveDecide(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
 	pre := simplify.Simplify(f, p.Simplify)
 	out := solver.Result{Stats: solver.Stats{
 		NMBefore: int64(pre.Stats.NMBefore()),
@@ -124,37 +143,11 @@ func (p *Pipeline) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 		}
 	}
 
-	// Fan the components out across leased inner engines sharing ctx.
-	// Leases are exclusive for the duration of the component solve and
-	// released as each component finishes, so same-geometry components
-	// warm each other across solves. One UNSAT component decides the
-	// conjunction, so it cancels the rest through compCtx.
-	compCtx, cancel := context.WithCancel(ctx)
+	results, compCtx, cancel, err := p.fanOut(ctx, comps)
+	if err != nil {
+		return out, err
+	}
 	defer cancel()
-
-	type slot struct {
-		r   solver.Result
-		err error
-	}
-	results := make([]slot, len(comps))
-	var wg sync.WaitGroup
-	for i, comp := range comps {
-		lease, err := enginepool.Default.Acquire(p.inner, p.cfg, comp.F)
-		if err != nil {
-			return out, err
-		}
-		wg.Add(1)
-		go func(i int, comp *simplify.Component, lease *enginepool.Lease) {
-			defer wg.Done()
-			r, err := lease.Solve(compCtx)
-			lease.Release()
-			results[i] = slot{r, err}
-			if err == nil && r.Status == solver.StatusUnsat {
-				cancel()
-			}
-		}(i, comp, lease)
-	}
-	wg.Wait()
 
 	// Merge. Stats counters sum across components; the first sampling
 	// statistic seen survives (component statistics are per-subformula
@@ -209,5 +202,214 @@ func (p *Pipeline) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 	if haveModels {
 		out.Assignment = pre.Reconstruct(model)
 	}
+	return out, nil
+}
+
+// slot is one component's outcome in a fan-out.
+type slot struct {
+	r   solver.Result
+	err error
+}
+
+// fanOut solves every component concurrently on inner engines leased
+// from the shared pool, all under one derived context. Leases are
+// exclusive for the duration of the component solve and released as
+// each component finishes, so same-geometry components warm each other
+// across solves. One UNSAT component decides the conjunction — for
+// counting inner engines UNSAT is exactly a zero count, which zeroes
+// the product — so it cancels the rest through the derived context.
+//
+// The caller must defer the returned cancel, and must do so only after
+// merging: the merge distinguishes a cancelled loser from a real error
+// by compCtx.Err(), so cancelling before the merge would misread every
+// error as a loser.
+func (p *Pipeline) fanOut(ctx context.Context, comps []*simplify.Component) ([]slot, context.Context, context.CancelFunc, error) {
+	compCtx, cancel := context.WithCancel(ctx)
+	results := make([]slot, len(comps))
+	var wg sync.WaitGroup
+	for i, comp := range comps {
+		lease, err := enginepool.Default.Acquire(p.inner, p.cfg, comp.F)
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, nil, nil, err
+		}
+		wg.Add(1)
+		go func(i int, lease *enginepool.Lease) {
+			defer wg.Done()
+			r, err := lease.Solve(compCtx)
+			lease.Release()
+			results[i] = slot{r, err}
+			if err == nil && r.Status == solver.StatusUnsat {
+				cancel()
+			}
+		}(i, lease)
+	}
+	wg.Wait()
+	return results, compCtx, cancel, nil
+}
+
+// solveCount is the counting pipeline. It keeps only the
+// count-preserving reductions: unit propagation (a forced variable has
+// exactly one value in every model, so it contributes a factor of 1),
+// subsumption and self-subsuming strengthening (both
+// logical-equivalence transformations). Pure-literal elimination and
+// bounded variable elimination are forced off — both preserve only
+// satisfiability, not the number of models (a pure literal's variable
+// still takes two values in models where its clauses are otherwise
+// satisfied). Variables that end up in no clause — free — contribute a
+// factor of 2 each, and component counts multiply because components
+// share no variables.
+func (p *Pipeline) solveCount(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	opts := p.Simplify
+	opts.DisablePure = true
+	opts.DisableBVE = true
+	pre := simplify.Simplify(f, opts)
+	out := solver.Result{Stats: solver.Stats{
+		NMBefore: int64(pre.Stats.NMBefore()),
+		NMAfter:  int64(pre.Stats.NMAfter()),
+	}}
+
+	if pre.ProvedUnsat {
+		out.Status = solver.StatusUnsat
+		out.Count = new(big.Int)
+		return out, nil
+	}
+
+	// Every original variable is exactly one of: forced (factor 1),
+	// surviving in pre.F (counted by the engines below), or free
+	// (factor 2). BVE is off, so there is no fourth, eliminated kind.
+	forced := 0
+	for v := cnf.Var(1); int(v) <= f.NumVars; v++ {
+		if pre.Forced.Get(v) != cnf.Unassigned {
+			forced++
+		}
+	}
+	free := f.NumVars - forced - pre.F.NumVars
+	count := new(big.Int).Lsh(big.NewInt(1), uint(free))
+
+	if pre.F.NumClauses() == 0 {
+		// Everything was forced or freed: the forced prefix admits
+		// exactly the 2^free completions already accumulated.
+		out.Status = solver.StatusSat
+		out.Count = count
+		return out, nil
+	}
+
+	comps := simplify.Decompose(pre.F)
+	out.Stats.Components = int64(len(comps))
+	for _, c := range comps {
+		for _, cl := range c.F.Clauses {
+			if len(cl) == 0 {
+				// Defensive: Simplify leaves no empty clauses, but a
+				// caller-supplied Simplify option set might.
+				out.Status = solver.StatusUnsat
+				out.Count = new(big.Int)
+				return out, nil
+			}
+		}
+	}
+	return p.mergeCounts(ctx, out, comps, count)
+}
+
+// solveWeighted is the weighted-counting (K') pipeline. It must not
+// Simplify at all: K' weights each model by the product over clauses of
+// the number of satisfied literals, so even unit propagation changes
+// the answer — for f = (x)·(x+y), K' = 3 (the model x=y=1 satisfies
+// the second clause twice), but propagating the unit first leaves (y)
+// free-standing with K' = 2·1. Decomposition alone is K'-safe: it
+// renames variables without touching clause contents, and weights
+// factor over variable-disjoint components. Free variables contribute
+// ×2 each (they satisfy nothing, with two completions per model).
+func (p *Pipeline) solveWeighted(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	nm := int64(f.NumVars) * int64(f.NumClauses())
+	out := solver.Result{Stats: solver.Stats{NMBefore: nm, NMAfter: nm}}
+
+	for _, cl := range f.Clauses {
+		if len(cl) == 0 {
+			out.Status = solver.StatusUnsat
+			out.Count = new(big.Int)
+			return out, nil
+		}
+	}
+	if f.NumClauses() == 0 {
+		// The empty product weights every assignment 1: K' = 2^n.
+		out.Status = solver.StatusSat
+		out.Count = new(big.Int).Lsh(big.NewInt(1), uint(f.NumVars))
+		return out, nil
+	}
+
+	comps := simplify.Decompose(f)
+	out.Stats.Components = int64(len(comps))
+	mentioned := 0
+	for _, c := range comps {
+		mentioned += c.F.NumVars
+	}
+	base := new(big.Int).Lsh(big.NewInt(1), uint(f.NumVars-mentioned))
+	return p.mergeCounts(ctx, out, comps, base)
+}
+
+// mergeCounts fans the components out and multiplies their counts into
+// base (which already carries the 2^free factor). Any zero-count
+// (UNSAT) component zeroes the product; any unknown or cancelled-loser
+// component leaves the total unknowable, so no count is reported.
+func (p *Pipeline) mergeCounts(ctx context.Context, out solver.Result, comps []*simplify.Component, base *big.Int) (solver.Result, error) {
+	results, compCtx, cancel, err := p.fanOut(ctx, comps)
+	if err != nil {
+		return out, err
+	}
+	defer cancel()
+
+	var (
+		unsat    bool
+		unknown  bool
+		firstErr error
+	)
+	count := base
+	for i, o := range results {
+		if out.Stats.StdErr == 0 && o.r.Stats.StdErr != 0 {
+			out.Stats.Mean, out.Stats.StdErr = o.r.Stats.Mean, o.r.Stats.StdErr
+		}
+		out.Stats.Add(o.r.Stats)
+		switch {
+		case o.err == nil && o.r.Status == solver.StatusUnsat:
+			unsat = true
+		case o.err == nil && o.r.Status == solver.StatusSat:
+			if o.r.Count == nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("pipeline %s component %d/%d: SAT without a count under task %s",
+						p.inner, i+1, len(comps), p.cfg.Task)
+				}
+				continue
+			}
+			count.Mul(count, o.r.Count)
+		case o.err == nil:
+			unknown = true
+		case compCtx.Err() != nil && ctx.Err() == nil:
+			// Cancelled loser of an already-zeroed product, not a failure.
+			unknown = true
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pipeline %s component %d/%d: %w",
+					p.inner, i+1, len(comps), o.err)
+			}
+		}
+	}
+
+	switch {
+	case unsat:
+		out.Status = solver.StatusUnsat
+		out.Count = new(big.Int)
+		return out, nil
+	case ctx.Err() != nil:
+		return out, ctx.Err()
+	case firstErr != nil:
+		return out, firstErr
+	case unknown:
+		out.Status = solver.StatusUnknown
+		return out, nil
+	}
+	out.Status = solver.StatusSat
+	out.Count = count
 	return out, nil
 }

@@ -71,7 +71,13 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("instance exceeds the %d-byte body limit", maxBodyBytes))
 		return
 	}
-	fp, vars, clauses, err := canonKey(body)
+	// An equivalence submission carries a pair; route it by the miter
+	// it lowers to so renamed twins of the question share a replica.
+	key := canonKey
+	if r.URL.Query().Get("task") == "equivalent" {
+		key = equivKey
+	}
+	fp, vars, clauses, err := key(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -126,6 +132,13 @@ type batchItem struct {
 // forwarded as its own /solve, so per-instance admission (and
 // failover) works the same as for single submissions.
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("task") == "equivalent" {
+		// Mirrors the service's own rejection: a batch is N independent
+		// instances, an equivalence check is one question about a pair.
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("task=equivalent is not supported on /solve/batch; POST the pair to /solve"))
+		return
+	}
 	chunks, err := dimacs.SplitBatch(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge,

@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/dimacs"
+	"repro/internal/logic"
 )
 
 // maxBodyBytes mirrors the service's submission cap.
@@ -327,4 +328,35 @@ func canonKey(body []byte) (fp string, vars, clauses int, err error) {
 	}
 	c := cnf.Canonicalize(f)
 	return c.Fingerprint(), f.NumVars, f.NumClauses(), nil
+}
+
+// equivKey fingerprints a task=equivalent body (two DIMACS instances)
+// by the same lowering the backend will apply: the pair's miter CNF.
+// Routing by the miter's canonical fingerprint means a renamed twin of
+// the same equivalence question lands on the same replica and hits its
+// cache, exactly like a renamed decide submission. The original body is
+// still what gets forwarded — the backend owns the lowering.
+func equivKey(body []byte) (fp string, vars, clauses int, err error) {
+	chunks, err := dimacs.SplitBatch(bytes.NewReader(body))
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if len(chunks) != 2 {
+		return "", 0, 0, fmt.Errorf(
+			"task=equivalent needs exactly 2 DIMACS instances in the body, got %d", len(chunks))
+	}
+	a, err := dimacs.ReadString(chunks[0])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("instance 1: %w", err)
+	}
+	b, err := dimacs.ReadString(chunks[1])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("instance 2: %w", err)
+	}
+	m, err := logic.EquivalenceCNF(a, b)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	c := cnf.Canonicalize(m)
+	return c.Fingerprint(), m.NumVars, m.NumClauses(), nil
 }

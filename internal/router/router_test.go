@@ -23,6 +23,7 @@ type fakeBackend struct {
 	refuse     atomic.Bool // answer /solve with 503
 	retryAfter string      // Retry-After on refusals ("" omits it)
 	metrics    string
+	lastBody   atomic.Value // []byte: most recent /solve body
 }
 
 func newFakeBackend(t *testing.T, name string) *fakeBackend {
@@ -30,7 +31,8 @@ func newFakeBackend(t *testing.T, name string) *fakeBackend {
 	b := &fakeBackend{name: name}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
-		io.Copy(io.Discard, r.Body)
+		body, _ := io.ReadAll(r.Body)
+		b.lastBody.Store(body)
 		if b.refuse.Load() {
 			if b.retryAfter != "" {
 				w.Header().Set("Retry-After", b.retryAfter)

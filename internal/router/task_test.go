@@ -1,0 +1,86 @@
+package router
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// dimacsBRenamed applies dimacsA's renaming (1->3, 2->1, 3->2) to
+// dimacsB, so the pair (dimacsARenamed, dimacsBRenamed) asks the same
+// equivalence question as (dimacsA, dimacsB) under new variable names.
+const dimacsBRenamed = "p cnf 3 3\n-3 -1 0\n-1 -2 0\n-2 0\n"
+
+func postTask(t *testing.T, url, query, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/solve?"+query, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestEquivalentRoutesByMiterFingerprint: an equivalence pair routes by
+// the fingerprint of the miter it lowers to, so a consistently renamed
+// presentation of the same question lands on the same replica — and the
+// backend receives the original two-instance body untouched.
+func TestEquivalentRoutesByMiterFingerprint(t *testing.T) {
+	b0, b1 := newFakeBackend(t, "n0"), newFakeBackend(t, "n1")
+	_, ts := newTestRouter(t, nil, b0, b1)
+
+	pair := dimacsA + dimacsB
+	resp := postTask(t, ts.URL, "task=equivalent&engine=cdcl", pair)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	first := resp.Header.Get("X-NBL-Node")
+	owner := b0
+	if first == "n1" {
+		owner = b1
+	}
+	if got, _ := owner.lastBody.Load().([]byte); !bytes.Equal(got, []byte(pair)) {
+		t.Errorf("backend saw a rewritten body:\n%s", got)
+	}
+
+	resp2 := postTask(t, ts.URL, "task=equivalent&engine=cdcl", dimacsARenamed+dimacsBRenamed)
+	if got := resp2.Header.Get("X-NBL-Node"); got != first {
+		t.Errorf("renamed pair routed to %q, original to %q", got, first)
+	}
+}
+
+func TestEquivalentPairValidatedAtRouter(t *testing.T) {
+	b := newFakeBackend(t, "n0")
+	_, ts := newTestRouter(t, nil, b)
+
+	// One instance is not a pair: rejected at the router, never
+	// forwarded to a replica.
+	resp := postTask(t, ts.URL, "task=equivalent&engine=cdcl", dimacsA)
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "exactly 2") {
+		t.Errorf("single instance: %d %s", resp.StatusCode, body)
+	}
+	// Mismatched variable counts fail the miter construction.
+	resp = postTask(t, ts.URL, "task=equivalent&engine=cdcl", dimacsA+"p cnf 4 1\n1 2 3 4 0\n")
+	body, _ = io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "matching variable counts") {
+		t.Errorf("mismatched pair: %d %s", resp.StatusCode, body)
+	}
+	if b.solves.Load() != 0 {
+		t.Errorf("invalid pairs were forwarded %d times", b.solves.Load())
+	}
+
+	// Batch submissions cannot carry an equivalence task.
+	resp2, err := http.Post(ts.URL+"/solve/batch?task=equivalent&engine=cdcl", "text/plain",
+		strings.NewReader(dimacsA+dimacsB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ = io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "not supported on /solve/batch") {
+		t.Errorf("batch equivalent: %d %s", resp2.StatusCode, body)
+	}
+}

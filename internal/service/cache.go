@@ -74,8 +74,12 @@ func newVerdictCache(capacity int, store *verdictstore.Store) *verdictCache {
 	}
 }
 
-func cacheKey(engine, cfg, fingerprint string) string {
-	return engine + "\x00" + cfg + "\x00" + fingerprint
+// cacheKey composes the LRU key. It delegates to the store tier's
+// TaskKey so the two tiers agree on what "the same solve" means: a
+// decide task yields the legacy three-part key (pre-task cache
+// identities replay unchanged), any other task prefixes it.
+func cacheKey(task solver.Task, engine, cfg, fingerprint string) string {
+	return verdictstore.TaskKey(string(task), engine, cfg, fingerprint)
 }
 
 // enabled reports whether any tier stores anything at all (it gates
@@ -86,11 +90,11 @@ func (c *verdictCache) enabled() bool { return c.cap > 0 || c.store != nil }
 // formula), with the stored model translated into the requester's
 // variable space. An LRU miss falls through to the durable store; a
 // store hit is promoted into the LRU on its way out.
-func (c *verdictCache) get(engine, cfg string, canon *cnf.Canonical) (solver.Result, bool) {
+func (c *verdictCache) get(task solver.Task, engine, cfg string, canon *cnf.Canonical) (solver.Result, bool) {
 	if !c.enabled() {
 		return solver.Result{}, false
 	}
-	key := cacheKey(engine, cfg, canon.Fingerprint())
+	key := cacheKey(task, engine, cfg, canon.Fingerprint())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, found := c.entries[key]; found {
@@ -102,7 +106,7 @@ func (c *verdictCache) get(engine, cfg string, canon *cnf.Canonical) (solver.Res
 		return res, true
 	}
 	if c.store != nil {
-		if rec, ok := c.store.Get(engine, cfg, canon.Fingerprint()); ok {
+		if rec, ok := c.store.GetTask(string(task), engine, cfg, canon.Fingerprint()); ok {
 			e := &cacheEntry{key: key, res: rec.Result, model: rec.Result.Assignment}
 			e.res.Assignment = nil
 			c.insertLocked(key, e)
@@ -118,11 +122,11 @@ func (c *verdictCache) get(engine, cfg string, canon *cnf.Canonical) (solver.Res
 // put stores a definitive result in both tiers. UNKNOWN (or an errored
 // solve — the caller never offers one) is rejected: see the type
 // comment.
-func (c *verdictCache) put(engine, cfg string, canon *cnf.Canonical, res solver.Result) {
+func (c *verdictCache) put(task solver.Task, engine, cfg string, canon *cnf.Canonical, res solver.Result) {
 	if !c.enabled() || !res.Status.Definitive() {
 		return
 	}
-	key := cacheKey(engine, cfg, canon.Fingerprint())
+	key := cacheKey(task, engine, cfg, canon.Fingerprint())
 	e := &cacheEntry{key: key, res: res, model: canon.ToCanonical(res.Assignment)}
 	e.res.Assignment = nil
 	c.mu.Lock()
@@ -131,12 +135,18 @@ func (c *verdictCache) put(engine, cfg string, canon *cnf.Canonical, res solver.
 	if c.store != nil {
 		storeRes := e.res
 		storeRes.Assignment = e.model
+		// The record's Task field stays empty for decide so the framed
+		// bytes match the pre-task record format exactly.
+		recTask := string(task)
+		if recTask == string(solver.TaskDecide) {
+			recTask = ""
+		}
 		// Best-effort write-through: a full disk must not fail the job
 		// whose verdict was just earned — the LRU still has it, and the
 		// next process can re-earn it.
 		_ = c.store.Put(verdictstore.Record{
 			Engine: engine, ConfigKey: cfg, Fingerprint: canon.Fingerprint(),
-			Result: storeRes,
+			Task: recTask, Result: storeRes,
 		})
 	}
 }

@@ -10,10 +10,19 @@
 //	GET    /healthz        liveness + basic gauges
 //
 // POST /solve and /solve/batch query parameters: engine (registry
-// expression, e.g. pre(mc)), seed, samples, theta, workers, family,
+// expression, e.g. pre(mc)), task (decide | count | weighted-count |
+// equivalent; default decide), seed, samples, theta, workers, family,
 // alloc, flips, restarts, noise, candidates, members (comma lineup),
 // model=1 (model recovery), timeout (Go duration), sync=1 (/solve
 // only).
+//
+// task=count and task=weighted-count return the exact model count (or
+// clause-cover-weighted count K') as result.count, a decimal string.
+// task=equivalent takes TWO DIMACS instances in the body (batch
+// syntax), lowers them to a miter via internal/logic, and decides it:
+// UNSAT certifies the pair equivalent, SAT means they differ (a model
+// restricted to variables 1..n is a distinguishing assignment). It is
+// /solve-only; /solve/batch rejects it.
 //
 // A /solve/batch body is a concatenation of DIMACS documents: each
 // "p cnf" problem line starts a new instance, and the SATLIB "%"
@@ -30,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/url"
@@ -37,8 +47,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cnf"
 	"repro/internal/dimacs"
 	"repro/internal/enginepool"
+	"repro/internal/logic"
 	"repro/internal/solver"
 )
 
@@ -77,8 +89,11 @@ func (s *Server) Handler() http.Handler {
 
 // jobJSON is the wire form of a job snapshot.
 type jobJSON struct {
-	ID        string         `json:"id"`
-	Engine    string         `json:"engine"`
+	ID     string `json:"id"`
+	Engine string `json:"engine"`
+	// Task is present for non-decide jobs only, so decide responses are
+	// byte-compatible with the pre-task wire form.
+	Task      solver.Task    `json:"task,omitempty"`
 	State     State          `json:"state"`
 	Submitted time.Time      `json:"submitted"`
 	Started   *time.Time     `json:"started,omitempty"`
@@ -86,7 +101,11 @@ type jobJSON struct {
 	CacheHit  bool           `json:"cache_hit,omitempty"`
 	Progress  *solver.Stats  `json:"progress,omitempty"`
 	Result    *solver.Result `json:"result,omitempty"`
-	Error     string         `json:"error,omitempty"`
+	// Equivalent answers a task=equivalent job directly: the miter's
+	// UNSAT certifies equivalence, its SAT refutes it. Absent until the
+	// verdict is definitive.
+	Equivalent *bool  `json:"equivalent,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 func snapshotJSON(snap Snapshot) jobJSON {
@@ -96,6 +115,13 @@ func snapshotJSON(snap Snapshot) jobJSON {
 		State:     snap.State,
 		Submitted: snap.Submitted,
 		CacheHit:  snap.CacheHit,
+	}
+	if snap.Task != "" && snap.Task != solver.TaskDecide {
+		out.Task = snap.Task
+	}
+	if snap.Task == solver.TaskEquivalent && snap.Result.Status.Definitive() {
+		eq := snap.Result.Status == solver.StatusUnsat
+		out.Equivalent = &eq
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started
@@ -135,6 +161,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // /solve/batch from the request query.
 func parseSubmitOptions(q url.Values) (SubmitOptions, error) {
 	opts := SubmitOptions{Engine: q.Get("engine")}
+	task, err := solver.ParseTask(q.Get("task"))
+	if err != nil {
+		return opts, err
+	}
+	opts.Task = task
 
 	// Numeric knobs are client-controlled; negatives are rejected here
 	// rather than trusted to engine defaulting (a negative worker count
@@ -227,7 +258,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	f, err := dimacs.Read(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var f *cnf.Formula
+	if opts.Task == solver.TaskEquivalent {
+		f, err = readEquivalencePair(body)
+	} else {
+		f, err = dimacs.Read(body)
+	}
 	if err != nil {
 		// A truncated-by-cap body surfaces as a read error inside the
 		// DIMACS parser; report the cap, not a bogus syntax complaint.
@@ -260,6 +297,32 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, snapshotJSON(job.Snapshot()))
+}
+
+// readEquivalencePair reads a two-instance DIMACS body (batch syntax)
+// and lowers "are they equivalent?" to the miter decide instance any
+// engine can run: SAT of the returned formula refutes equivalence,
+// UNSAT certifies it. The miter's variables 1..n are the pair's
+// original inputs (logic.EquivalenceCNF), so a recovered model reads
+// directly as a distinguishing assignment.
+func readEquivalencePair(body io.Reader) (*cnf.Formula, error) {
+	chunks, err := dimacs.SplitBatch(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(chunks) != 2 {
+		return nil, fmt.Errorf(
+			"task=equivalent needs exactly 2 DIMACS instances in the body, got %d", len(chunks))
+	}
+	a, err := dimacs.ReadString(chunks[0])
+	if err != nil {
+		return nil, fmt.Errorf("instance 1: %w", err)
+	}
+	b, err := dimacs.ReadString(chunks[1])
+	if err != nil {
+		return nil, fmt.Errorf("instance 2: %w", err)
+	}
+	return logic.EquivalenceCNF(a, b)
 }
 
 // submitErrorCode maps a Submit failure onto the HTTP status a single
@@ -315,6 +378,13 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	opts, err := parseSubmitOptions(r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if opts.Task == solver.TaskEquivalent {
+		// A batch is N independent instances; an equivalence check is one
+		// question about a pair. The pairing would be ambiguous here.
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("task=equivalent is not supported on /solve/batch; POST the pair to /solve"))
 		return
 	}
 	chunks, err := dimacs.SplitBatch(http.MaxBytesReader(w, r.Body, maxBodyBytes))

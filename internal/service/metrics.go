@@ -7,10 +7,12 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/enginepool"
+	"repro/internal/solver"
 	"repro/internal/verdictstore"
 )
 
@@ -31,6 +33,12 @@ type metrics struct {
 	start time.Time
 
 	jobsTotal map[string]int64 // by terminal state
+	// taskJobs counts terminal jobs by (task, state), keyed
+	// task+"\x00"+state. A separate family from jobsTotal — relabeling
+	// the existing one would break every consumer keying on
+	// nblserve_jobs_total{state=...}. Cardinality is fixed: 4 tasks ×
+	// 3 terminal states.
+	taskJobs map[string]int64
 
 	samplesTotal      int64
 	solveSecondsTotal float64
@@ -60,16 +68,21 @@ func newMetrics() *metrics {
 	return &metrics{
 		start:     time.Now(),
 		jobsTotal: make(map[string]int64),
+		taskJobs:  make(map[string]int64),
 		solveHist: make(map[string]*histogram),
 	}
 }
 
 // jobFinished records a terminal state transition plus, for jobs that
 // actually ran an engine, the effort spent.
-func (m *metrics) jobFinished(state string, engine string, samples int64, wall time.Duration) {
+func (m *metrics) jobFinished(state string, engine string, task solver.Task, samples int64, wall time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.jobsTotal[state]++
+	if task == "" {
+		task = solver.TaskDecide
+	}
+	m.taskJobs[string(task)+"\x00"+state]++
 	if wall <= 0 && samples == 0 {
 		return
 	}
@@ -149,6 +162,18 @@ func (m *metrics) render(w *bytes.Buffer, g gauges) {
 	sort.Strings(states)
 	for _, s := range states {
 		fmt.Fprintf(w, "nblserve_jobs_total{state=%q} %d\n", s, m.jobsTotal[s])
+	}
+
+	fmt.Fprintln(w, "# HELP nblserve_task_jobs_total Jobs finished, by solve task and terminal state.")
+	fmt.Fprintln(w, "# TYPE nblserve_task_jobs_total counter")
+	taskKeys := make([]string, 0, len(m.taskJobs))
+	for k := range m.taskJobs {
+		taskKeys = append(taskKeys, k)
+	}
+	sort.Strings(taskKeys)
+	for _, k := range taskKeys {
+		task, state, _ := strings.Cut(k, "\x00")
+		fmt.Fprintf(w, "nblserve_task_jobs_total{task=%q,state=%q} %d\n", task, state, m.taskJobs[k])
 	}
 
 	fmt.Fprintln(w, "# HELP nblserve_jobs_queued Jobs waiting for a worker.")

@@ -40,6 +40,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"strconv"
 	"sync"
@@ -95,6 +96,12 @@ type Config struct {
 	// it as a node label, so a request routed through nblrouter is
 	// attributable end to end.
 	NodeID string
+	// MaxCountVars bounds the variable count of counting-task
+	// submissions (default 64; <0 disables the bound). Exact counting
+	// is exponential in the worst case and the weighted counter
+	// enumerates whole components, so an oversized instance must be a
+	// 400 at submit, not a worker lost to a year-long solve.
+	MaxCountVars int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 65536
 	}
+	if c.MaxCountVars == 0 {
+		c.MaxCountVars = 64
+	}
 	return c
 }
 
@@ -122,6 +132,11 @@ func (c Config) withDefaults() Config {
 type Job struct {
 	ID     string
 	Engine string
+	// Task is what the job computes (decide/count/weighted-count/
+	// equivalent). For equivalent the formula is already the lowered
+	// miter and the engine runs a plain decide; the task survives here
+	// for cache keying, job reporting, and metrics.
+	Task solver.Task
 
 	mu        sync.Mutex
 	state     State
@@ -209,6 +224,11 @@ type SubmitOptions struct {
 	// Solver carries engine knobs (seed, budgets, theta, lineup, model
 	// recovery); zero values take registry defaults.
 	Solver solver.Config
+	// Task selects what the job computes; empty means decide. For
+	// TaskEquivalent the caller must already have lowered the request
+	// to a miter formula (the HTTP layer does this): the engine then
+	// decides the miter while the job remains labeled equivalent.
+	Task solver.Task
 }
 
 // Submit validates, consults the verdict cache, and either completes
@@ -216,12 +236,28 @@ type SubmitOptions struct {
 // returned Job is live: poll Snapshot, wait on Done(), cancel with
 // Cancel.
 func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
+	task := opts.Task
+	if task == "" {
+		task = solver.TaskDecide
+	}
+	if task.Counting() {
+		// The engine must count, so the task rides the solver config
+		// (pipeline dispatch, pool/cache identity); for equivalent the
+		// config stays decide — the formula is already the miter.
+		opts.Solver.Task = task
+		if s.cfg.MaxCountVars >= 0 && f.NumVars > s.cfg.MaxCountVars {
+			return nil, fmt.Errorf(
+				"service: counting task %s rejected: %d variables exceeds the %d-variable counting bound (-max-count-vars)",
+				task, f.NumVars, s.cfg.MaxCountVars)
+		}
+	}
 	engine := opts.Engine
 	if engine == "" {
-		engine = s.cfg.DefaultEngine
+		engine = s.defaultEngine(task)
 	}
-	// Fail a bad engine expression or config at submit time, not on a
-	// worker: the submitter is still on the line to see the 400.
+	// Fail a bad engine expression, config, or engine/task mismatch at
+	// submit time, not on a worker: the submitter is still on the line
+	// to see the 400.
 	if _, err := solver.NewWith(engine, opts.Solver); err != nil {
 		return nil, err
 	}
@@ -232,6 +268,7 @@ func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
 	now := time.Now()
 	job := &Job{
 		Engine:    engine,
+		Task:      task,
 		state:     StateQueued,
 		submitted: now,
 		done:      make(chan struct{}),
@@ -242,7 +279,7 @@ func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
 	if s.cache.enabled() {
 		job.canon = cnf.Canonicalize(f)
 	}
-	if res, ok := s.cache.get(engine, opts.Solver.Key(), job.canon); ok {
+	if res, ok := s.cache.get(task, engine, opts.Solver.Key(), job.canon); ok {
 		// Replay: the stored Result verbatim (stats, wall, engine), the
 		// model translated through this submission's renaming. The job
 		// is fully terminal *before* register publishes it — once it is
@@ -263,7 +300,7 @@ func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
 		}
 		s.register(job)
 		s.mu.Unlock()
-		s.met.jobFinished(string(StateDone), engine, 0, 0)
+		s.met.jobFinished(string(StateDone), engine, task, 0, 0)
 		return job, nil
 	}
 
@@ -326,8 +363,23 @@ func (s *Server) reapQueued(j *Job) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	j.release()
-	s.met.jobFinished(string(StateCancelled), j.Engine, 0, 0)
+	s.met.jobFinished(string(StateCancelled), j.Engine, j.Task, 0, 0)
 	close(j.done)
+}
+
+// defaultEngine picks the engine for a submission that names none:
+// counting tasks default to the exact counters behind the count-safe
+// pipeline — the decide default "pre(portfolio)" races engines that
+// cannot count — while decide and equivalent (a decide on a miter)
+// take the configured default.
+func (s *Server) defaultEngine(task solver.Task) string {
+	switch task {
+	case solver.TaskCount:
+		return "pre(count)"
+	case solver.TaskWeightedCount:
+		return "pre(wcount)"
+	}
+	return s.cfg.DefaultEngine
 }
 
 // register assigns an ID and stores the job; caller holds s.mu.
@@ -493,10 +545,10 @@ func (s *Server) finish(job *Job, res solver.Result, err error) {
 	// the same formula or scrape /metrics, and both must already see
 	// this job's cache entry and counters.
 	if state == StateDone && job.canon != nil {
-		s.cache.put(job.Engine, job.cfg.Key(), job.canon, res)
+		s.cache.put(job.Task, job.Engine, job.cfg.Key(), job.canon, res)
 	}
 	job.release()
-	s.met.jobFinished(string(state), job.Engine, res.Stats.Samples, res.Wall)
+	s.met.jobFinished(string(state), job.Engine, job.Task, res.Stats.Samples, res.Wall)
 	close(job.done)
 }
 
@@ -578,6 +630,7 @@ func (s *Server) Counts() (queued, running int64) {
 type Snapshot struct {
 	ID        string
 	Engine    string
+	Task      solver.Task
 	State     State
 	Submitted time.Time
 	Started   time.Time
@@ -595,6 +648,7 @@ func (j *Job) Snapshot() Snapshot {
 	return Snapshot{
 		ID:        j.ID,
 		Engine:    j.Engine,
+		Task:      j.Task,
 		State:     j.state,
 		Submitted: j.submitted,
 		Started:   j.started,

@@ -24,6 +24,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/big"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +32,48 @@ import (
 
 	"repro/internal/cnf"
 )
+
+// Task selects what question a solve answers about the formula. The
+// registry is task-typed: every engine declares the tasks it supports
+// (RegisterTasks; plain decide is the default), and NewWith rejects an
+// engine/task mismatch at construction instead of silently deciding.
+type Task string
+
+// The solve tasks.
+const (
+	// TaskDecide is classical satisfiability: SAT / UNSAT / UNKNOWN,
+	// optionally with a model. The zero value of Config.Task defaults
+	// here, so every pre-task-model caller keeps its behavior.
+	TaskDecide Task = "decide"
+	// TaskCount is exact model counting (#SAT): Result.Count carries
+	// the number of satisfying assignments, and Status is the derived
+	// verdict (count > 0 -> SAT, count = 0 -> UNSAT).
+	TaskCount Task = "count"
+	// TaskWeightedCount is the clause-cover-weighted count K' — the
+	// coefficient in the paper's E[S_N] = K'·sigma^(2nm) — carried the
+	// same way in Result.Count.
+	TaskWeightedCount Task = "weighted-count"
+	// TaskEquivalent asks whether two circuits (or CNF bodies) compute
+	// the same function. It is not an engine task: callers (the
+	// service, the CLI) lower it to TaskDecide on a miter CNF built by
+	// internal/logic, so NewWith rejects it with a pointer there.
+	TaskEquivalent Task = "equivalent"
+)
+
+// ParseTask validates a task name from an untrusted surface (HTTP
+// query, CLI flag). The empty string is TaskDecide.
+func ParseTask(s string) (Task, error) {
+	switch Task(s) {
+	case "", TaskDecide:
+		return TaskDecide, nil
+	case TaskCount, TaskWeightedCount, TaskEquivalent:
+		return Task(s), nil
+	}
+	return "", fmt.Errorf("solver: unknown task %q (tasks: decide, count, weighted-count, equivalent)", s)
+}
+
+// Counting reports whether the task produces a model count.
+func (t Task) Counting() bool { return t == TaskCount || t == TaskWeightedCount }
 
 // Status is the three-valued verdict of a solve.
 type Status int8
@@ -142,6 +185,11 @@ type Result struct {
 	// Engine is the registry name of the engine that produced the
 	// verdict. For a portfolio solve it names the winning member.
 	Engine string
+	// Count is the model count for counting tasks (TaskCount: #models;
+	// TaskWeightedCount: the clause-cover-weighted K'), nil for decide
+	// solves. big.Int because free variables double the count per head
+	// and weights multiply — uint64 overflows at 64 free variables.
+	Count *big.Int
 	// Wall is the wall-clock duration of the solve.
 	Wall time.Duration
 	// Stats is the engine's effort accounting.
@@ -150,6 +198,9 @@ type Result struct {
 
 func (r Result) String() string {
 	s := fmt.Sprintf("%s [%s %v]", r.Status, r.Engine, r.Wall.Round(time.Microsecond))
+	if r.Count != nil {
+		s += " count " + r.Count.String()
+	}
 	if r.Status == StatusSat && r.Assignment != nil {
 		s += " model " + r.Assignment.String()
 	}
@@ -161,9 +212,15 @@ func (r Result) String() string {
 // clock in integer nanoseconds, so any HTTP client can parse a verdict
 // without knowing the packed in-memory encodings.
 type resultJSON struct {
-	Status Status  `json:"status"`
-	Model  []int   `json:"model,omitempty"`
-	Engine string  `json:"engine,omitempty"`
+	Status Status `json:"status"`
+	Model  []int  `json:"model,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// Count is the model count as a decimal string: counts routinely
+	// exceed 2^53, so a JSON number would silently lose precision in
+	// every JavaScript (and most dynamically-typed) clients. Absent for
+	// decide solves, which keeps pre-task-model verdict records
+	// byte-identical.
+	Count  string  `json:"count,omitempty"`
 	WallNS int64   `json:"wall_ns"`
 	Wall   string  `json:"wall"`
 	Stats  Stats   `json:"stats"`
@@ -181,6 +238,9 @@ func (r Result) MarshalJSON() ([]byte, error) {
 	}
 	if r.Stats.StdErr != 0 {
 		out.ZScore = r.Stats.Mean / r.Stats.StdErr
+	}
+	if r.Count != nil {
+		out.Count = r.Count.String()
 	}
 	if r.Assignment != nil {
 		for v := cnf.Var(1); int(v) < len(r.Assignment); v++ {
@@ -209,6 +269,14 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	r.Wall = time.Duration(in.WallNS)
 	r.Stats = in.Stats
 	r.Assignment = nil
+	r.Count = nil
+	if in.Count != "" {
+		c, ok := new(big.Int).SetString(in.Count, 10)
+		if !ok {
+			return fmt.Errorf("solver: bad count %q", in.Count)
+		}
+		r.Count = c
+	}
 	if len(in.Model) > 0 {
 		maxVar := 0
 		for _, x := range in.Model {
@@ -336,6 +404,14 @@ type Config struct {
 	// Members lists the engines a portfolio races. Empty selects the
 	// default lineup.
 	Members []string
+	// Task selects what the solve computes (decide, count,
+	// weighted-count); zero defaults to TaskDecide. The task rides the
+	// Config — not a separate parameter — because it changes engine
+	// behavior the same way every other knob does: a pre() shell warmed
+	// under decide must not serve a counting request (the pipeline
+	// reads its task to pick count-safe preprocessing), so the task
+	// must separate pool and cache identities, which Key() guarantees.
+	Task Task
 }
 
 func (c Config) withDefaults() Config {
@@ -351,6 +427,9 @@ func (c Config) withDefaults() Config {
 	if c.Theta == 0 {
 		c.Theta = 4
 	}
+	if c.Task == "" {
+		c.Task = TaskDecide
+	}
 	return c
 }
 
@@ -360,11 +439,20 @@ func (c Config) withDefaults() Config {
 // verdict cache) may safely share across. Defaults are applied first —
 // a zero Config and an explicit default Config select the same engine
 // and must key identically.
+//
+// The task is appended only when it is not decide: every decide Config
+// keys byte-identically to its pre-task-model form, so verdict-store
+// files written before tasks existed replay unchanged (the durable
+// store persists these keys across releases).
 func (c Config) Key() string {
 	c = c.withDefaults()
-	return fmt.Sprintf("%d|%d|%g|%d|%s|%s|%d|%d|%g|%d|%t|%v",
+	key := fmt.Sprintf("%d|%d|%g|%d|%s|%s|%d|%d|%g|%d|%t|%v",
 		c.Seed, c.MaxSamples, c.Theta, c.Workers, c.Family, c.Allocation,
 		c.MaxFlips, c.Restarts, c.NoiseP, c.Candidates, c.FindModel, c.Members)
+	if c.Task != TaskDecide {
+		key += "|" + string(c.Task)
+	}
+	return key
 }
 
 // Option mutates a Config (functional options for New).
@@ -406,6 +494,9 @@ func WithModel(find bool) Option { return func(c *Config) { c.FindModel = find }
 // WithMembers sets the portfolio lineup.
 func WithMembers(names ...string) Option { return func(c *Config) { c.Members = names } }
 
+// WithTask selects the solve task (decide, count, weighted-count).
+func WithTask(t Task) Option { return func(c *Config) { c.Task = t } }
+
 // CompleteResult maps a complete-search outcome onto a Result: a
 // non-nil error passes through (verdict unknown, partial stats kept), a
 // model means SAT, and a finished search without one is a certified
@@ -419,6 +510,29 @@ func CompleteResult(a cnf.Assignment, ok bool, err error, stats Stats) (Result, 
 	if ok {
 		out.Status = StatusSat
 		out.Assignment = a
+	} else {
+		out.Status = StatusUnsat
+	}
+	return out, nil
+}
+
+// CountResult maps an exact-counting outcome onto a Result: a non-nil
+// error passes through (verdict unknown, partial stats kept), a
+// positive count means SAT, and an exact zero is a certified UNSAT. It
+// is the shared adapter tail of the counting engines (count, wcount)
+// and the pipeline's counting paths, the counting analogue of
+// CompleteResult.
+func CountResult(count *big.Int, err error, stats Stats) (Result, error) {
+	out := Result{Stats: stats}
+	if err != nil {
+		return out, err
+	}
+	if count == nil {
+		return out, fmt.Errorf("solver: counting engine produced no count")
+	}
+	out.Count = count
+	if count.Sign() > 0 {
+		out.Status = StatusSat
 	} else {
 		out.Status = StatusUnsat
 	}
@@ -453,7 +567,106 @@ var (
 	registry  = map[string]Factory{}
 	metas     = map[string]MetaFactory{}
 	stateless = map[string]bool{}
+	// taskSupport maps an engine or meta name to the tasks it can
+	// execute. Absent means {decide}: every pre-task engine decides, so
+	// the registry's default keeps old registrations valid without a
+	// migration.
+	taskSupport = map[string][]Task{}
 )
+
+// RegisterTasks declares the tasks the named engine or meta shell
+// supports, replacing the implicit decide-only default. Typically
+// called from the same init that registers the engine. NewWith consults
+// this table and rejects an engine/task mismatch loudly instead of
+// letting a counting request be silently answered with a bare verdict.
+func RegisterTasks(name string, tasks ...Task) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	taskSupport[name] = append([]Task(nil), tasks...)
+}
+
+// Capabilities describes what a registered engine expression can do.
+type Capabilities struct {
+	// Tasks lists the tasks the expression supports.
+	Tasks []Task
+}
+
+// Supports reports whether t is in the capability set.
+func (c Capabilities) Supports(t Task) bool {
+	for _, have := range c.Tasks {
+		if have == t {
+			return true
+		}
+	}
+	return false
+}
+
+// CapabilitiesOf resolves the capability set of an engine expression.
+// A plain name yields its registered task list (default: decide only).
+// A meta expression "meta(inner)" yields the intersection of the
+// shell's tasks with the inner expression's — a count-capable pre()
+// around a decide-only engine cannot count, and vice versa. Unknown
+// names are an error.
+func CapabilitiesOf(expr string) (Capabilities, error) {
+	regMu.RLock()
+	_, plain := registry[expr]
+	list, listed := taskSupport[expr]
+	regMu.RUnlock()
+	if plain {
+		if !listed {
+			return Capabilities{Tasks: []Task{TaskDecide}}, nil
+		}
+		return Capabilities{Tasks: append([]Task(nil), list...)}, nil
+	}
+	if meta, inner, ok := splitMeta(expr); ok {
+		regMu.RLock()
+		_, found := metas[meta]
+		metaList, metaListed := taskSupport[meta]
+		regMu.RUnlock()
+		if found {
+			innerCaps, err := CapabilitiesOf(inner)
+			if err != nil {
+				return Capabilities{}, err
+			}
+			if !metaListed {
+				metaList = []Task{TaskDecide}
+			}
+			var both []Task
+			for _, t := range metaList {
+				if innerCaps.Supports(t) {
+					both = append(both, t)
+				}
+			}
+			return Capabilities{Tasks: both}, nil
+		}
+	}
+	return Capabilities{}, fmt.Errorf("solver: unknown engine %q (registered: %v, meta: %v)",
+		expr, Engines(), Metas())
+}
+
+// checkTask enforces the engine/task contract at construction time. It
+// deliberately ignores unknown expressions (NewWith's own unknown-name
+// error is the better message) and never accepts TaskEquivalent: that
+// task is not executable by any engine — callers lower it to TaskDecide
+// on a miter CNF (logic.EquivalenceCNF) before reaching the registry.
+func checkTask(expr string, task Task) error {
+	if task == TaskDecide {
+		return nil
+	}
+	if task == TaskEquivalent {
+		return fmt.Errorf(
+			"solver: task %q is not an engine task; lower it to a decide on a miter CNF (logic.EquivalenceCNF) first", task)
+	}
+	caps, err := CapabilitiesOf(expr)
+	if err != nil {
+		return nil // unknown name: let NewWith's lookup error fire instead
+	}
+	if !caps.Supports(task) {
+		return fmt.Errorf("solver: engine %q does not support task %q (supported: %v)",
+			expr, task, caps.Tasks)
+	}
+	return nil
+}
 
 // MarkStateless declares that the named engine or meta shell holds no
 // geometry-sized state of its own: its Reset is unconditionally warm
@@ -565,6 +778,10 @@ func New(name string, opts ...Option) (Solver, error) {
 // (e.g. "pre(mc)"): the meta factory registered for "meta" wraps the
 // engine built from the inner expression.
 func NewWith(name string, cfg Config) (Solver, error) {
+	cfg = cfg.withDefaults()
+	if err := checkTask(name, cfg.Task); err != nil {
+		return nil, err
+	}
 	regMu.RLock()
 	factory, ok := registry[name]
 	regMu.RUnlock()

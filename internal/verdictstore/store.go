@@ -94,19 +94,38 @@ type Record struct {
 	Engine      string `json:"engine"`
 	ConfigKey   string `json:"config"`
 	Fingerprint string `json:"fingerprint"`
+	// Task is the solve task the verdict answers ("count",
+	// "weighted-count", "equivalent"); empty means decide. Decide
+	// records omit the field entirely, so a record written before tasks
+	// existed marshals byte-identically and replays unchanged — the
+	// store's record-version compatibility contract.
+	Task string `json:"task,omitempty"`
 	// Result is the verdict to replay verbatim (stats and wall
 	// included), with Assignment in canonical variable space.
 	Result solver.Result `json:"result"`
 }
 
-// Key returns the index key of the record's identity triple.
-func (r Record) Key() string { return Key(r.Engine, r.ConfigKey, r.Fingerprint) }
+// Key returns the index key of the record's identity.
+func (r Record) Key() string { return TaskKey(r.Task, r.Engine, r.ConfigKey, r.Fingerprint) }
 
-// Key builds the store key for an identity triple. It matches the
+// Key builds the store key for a decide identity triple. It matches the
 // in-process cache's key composition so the two tiers agree on what
 // "the same solve" means.
 func Key(engine, configKey, fingerprint string) string {
 	return engine + "\x00" + configKey + "\x00" + fingerprint
+}
+
+// TaskKey is Key extended with the solve task. A decide identity
+// ("" or "decide") yields exactly the legacy three-part key, so old
+// store files index under the same keys new decide lookups use; any
+// other task prefixes the key — collision-free against triples, since
+// engine expressions never contain NUL.
+func TaskKey(task, engine, configKey, fingerprint string) string {
+	k := Key(engine, configKey, fingerprint)
+	if task == "" || task == "decide" {
+		return k
+	}
+	return task + "\x00" + k
 }
 
 // ErrNotDefinitive is returned by Put for an UNKNOWN verdict.
@@ -197,12 +216,18 @@ func (s *Store) load() error {
 	return err
 }
 
-// Get returns the stored verdict for the identity triple. The returned
-// Result's Assignment is in canonical variable space.
+// Get returns the stored decide verdict for the identity triple. The
+// returned Result's Assignment is in canonical variable space.
 func (s *Store) Get(engine, configKey, fingerprint string) (Record, bool) {
+	return s.GetTask("", engine, configKey, fingerprint)
+}
+
+// GetTask returns the stored verdict for the task-qualified identity;
+// an empty or "decide" task resolves the legacy triple key.
+func (s *Store) GetTask(task, engine, configKey, fingerprint string) (Record, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.index[Key(engine, configKey, fingerprint)]
+	rec, ok := s.index[TaskKey(task, engine, configKey, fingerprint)]
 	if ok {
 		s.hits++
 	} else {

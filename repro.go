@@ -44,6 +44,7 @@ import (
 	"repro/internal/dimacs"
 	"repro/internal/dpll"
 	"repro/internal/gen"
+	"repro/internal/logic"
 	"repro/internal/noise"
 	"repro/internal/rng"
 	"repro/internal/solver"
@@ -98,6 +99,9 @@ type (
 	Option = solver.Option
 	// Config is the explicit-options form used by NewWith.
 	Config = solver.Config
+	// Task names what a solve should produce: a decision, an exact model
+	// count, a weighted count (clause-cover K'), or an equivalence verdict.
+	Task = solver.Task
 )
 
 // Verdicts.
@@ -105,6 +109,14 @@ const (
 	StatusUnknown = solver.StatusUnknown
 	StatusSat     = solver.StatusSat
 	StatusUnsat   = solver.StatusUnsat
+)
+
+// Solve tasks.
+const (
+	TaskDecide        = solver.TaskDecide
+	TaskCount         = solver.TaskCount
+	TaskWeightedCount = solver.TaskWeightedCount
+	TaskEquivalent    = solver.TaskEquivalent
 )
 
 // Functional options for New, re-exported.
@@ -121,7 +133,12 @@ var (
 	WithCandidates = solver.WithCandidates
 	WithModel      = solver.WithModel
 	WithMembers    = solver.WithMembers
+	WithTask       = solver.WithTask
 )
+
+// ParseTask maps a task name ("", "decide", "count", "weighted-count",
+// "equivalent") to its Task; "" means decide.
+func ParseTask(s string) (Task, error) { return solver.ParseTask(s) }
 
 // ProgressFunc observes live Stats snapshots of a solve in flight; see
 // ContextWithProgress.
@@ -246,6 +263,13 @@ func SolveWalkSAT(f *Formula, seed uint64) (Assignment, bool) {
 // CountModels returns the exact number of satisfying assignments as a
 // string (the count can exceed uint64 for large free-variable sets).
 func CountModels(f *Formula) string { return count.Count(f).String() }
+
+// EquivalenceCNF lowers "are a and b logically equivalent?" to a decide
+// instance: it builds the miter of the two formulas (same variable
+// count required) and returns its Tseitin CNF. The miter is SAT exactly
+// when some shared input assignment makes a and b disagree, so UNSAT
+// certifies equivalence.
+func EquivalenceCNF(a, b *Formula) (*Formula, error) { return logic.EquivalenceCNF(a, b) }
 
 // RandomKSAT generates a uniform random k-SAT instance.
 func RandomKSAT(seed uint64, n, m, k int) *Formula {

@@ -141,6 +141,12 @@ func TestEngineMidRunCancellation(t *testing.T) {
 		{"hybrid", Pigeonhole(4)}, // exact coprocessor caps vars at 28
 		{"exact", RandomKSAT(7, 26, 60, 3)},
 		{"portfolio", paperUnsat}, // lineup below: one unbounded sampler
+		// The counting engines poll inside their own hot loops: the
+		// count DPLL explores PHP8's full refutation tree, and the
+		// weighted enumerator walks a 2^26 assignment space (the
+		// single random component stays under the 28-variable bound).
+		{"count", Pigeonhole(8)},
+		{"wcount", RandomKSAT(7, 26, 60, 3)},
 	}
 	if want, got := len(Engines()), len(cases); want != got {
 		t.Fatalf("covering %d of %d registered engines: %v", got, want, Engines())
