@@ -68,10 +68,15 @@ type Report struct {
 	// every samples/sec by it before comparing, so a baseline recorded
 	// on faster or slower hardware still gates code regressions rather
 	// than hardware differences.
-	CalibrationOpsPerSec float64     `json:"calibration_ops_per_sec"`
-	Kernel               []KernelRun `json:"kernel"`
-	Runs                 []EngineRun `json:"runs"`
-	Pool                 []PoolRun   `json:"pool"`
+	CalibrationOpsPerSec float64 `json:"calibration_ops_per_sec"`
+	// FillAccel names the accelerated fill kernel the rng package was
+	// built with ("avx2" under the nblavx2 build tag on amd64, "none"
+	// otherwise) — reports from tagged and untagged builds are
+	// distinguishable after the fact.
+	FillAccel string      `json:"fill_accel"`
+	Kernel    []KernelRun `json:"kernel"`
+	Runs      []EngineRun `json:"runs"`
+	Pool      []PoolRun   `json:"pool"`
 }
 
 // PoolRun is one paired warm-vs-cold measurement through the engine
@@ -116,10 +121,13 @@ type EngineRun struct {
 	WallNS        int64   `json:"wall_ns"`
 	Samples       int64   `json:"samples"`
 	SamplesPerSec float64 `json:"samples_per_sec"`
-	NMBefore      int64   `json:"nm_before,omitempty"`
-	NMAfter       int64   `json:"nm_after,omitempty"`
-	Components    int64   `json:"components,omitempty"`
-	Err           string  `json:"error,omitempty"`
+	// StreamVersion echoes the noise stream contract the engine drew
+	// from (sampling engines only; omitted for search engines).
+	StreamVersion int    `json:"stream_version,omitempty"`
+	NMBefore      int64  `json:"nm_before,omitempty"`
+	NMAfter       int64  `json:"nm_after,omitempty"`
+	Components    int64  `json:"components,omitempty"`
+	Err           string `json:"error,omitempty"`
 }
 
 type instance struct {
@@ -169,6 +177,7 @@ func main() {
 		CPUs:                 runtime.NumCPU(),
 		Tiny:                 *tiny,
 		CalibrationOpsPerSec: calibrate(),
+		FillAccel:            rng.FillAccelName(),
 	}
 
 	// Kernel microbenchmark: scalar vs block samples/sec on the paper's
@@ -517,6 +526,7 @@ func solveOne(engine string, in instance, seed uint64, samples int64, timeout ti
 	run.Status = res.Status.String()
 	run.WallNS = res.Wall.Nanoseconds()
 	run.Samples = res.Stats.Samples
+	run.StreamVersion = res.Stats.StreamVersion
 	run.NMBefore = res.Stats.NMBefore
 	run.NMAfter = res.Stats.NMAfter
 	run.Components = res.Stats.Components

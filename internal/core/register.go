@@ -17,6 +17,16 @@ import (
 // interface and registers them as "mc" (Monte-Carlo Algorithm 1/2) and
 // "exact" (infinite-sample closed form).
 
+// The solver package mirrors the stream version constants (it cannot
+// import noise without inverting the dependency); pin the mirror at
+// compile time so the two namespaces cannot drift.
+const (
+	_ = uint(noise.StreamV1 - solver.StreamV1)
+	_ = uint(solver.StreamV1 - noise.StreamV1)
+	_ = uint(noise.StreamV2 - solver.StreamV2)
+	_ = uint(solver.StreamV2 - noise.StreamV2)
+)
+
 func init() {
 	solver.Register("mc", func(cfg solver.Config) solver.Solver {
 		return &mcSolver{cfg: cfg}
@@ -138,11 +148,12 @@ func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 		}
 	} else {
 		eng, err = NewEngine(f, Options{
-			Family:     fam,
-			Seed:       s.cfg.Seed,
-			MaxSamples: s.cfg.MaxSamples,
-			Theta:      s.cfg.Theta,
-			Workers:    s.cfg.Workers,
+			Family:        fam,
+			Seed:          s.cfg.Seed,
+			MaxSamples:    s.cfg.MaxSamples,
+			Theta:         s.cfg.Theta,
+			Workers:       s.cfg.Workers,
+			StreamVersion: s.cfg.StreamVersion,
 		})
 		if err != nil {
 			return solver.Result{}, err
@@ -159,6 +170,7 @@ func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 	if s.cfg.FindModel {
 		res, err := eng.AssignCtx(ctx)
 		out := solver.Result{Stats: assignStats(res)}
+		out.Stats.StreamVersion = eng.Options().StreamVersion
 		switch {
 		case err == nil:
 			out.Status = solver.StatusSat
@@ -184,7 +196,10 @@ func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 
 	r, err := eng.CheckCtx(ctx)
 	out := solver.Result{
-		Stats: solver.Stats{Samples: r.Samples, Mean: r.Mean, StdErr: r.StdErr},
+		Stats: solver.Stats{
+			Samples: r.Samples, Mean: r.Mean, StdErr: r.StdErr,
+			StreamVersion: eng.Options().StreamVersion,
+		},
 	}
 	if err != nil {
 		return out, err

@@ -2,14 +2,16 @@ package core
 
 import (
 	"testing"
+
+	"repro/internal/noise"
 )
 
 // TestCheckSeedDistinctAcrossGrid verifies the stream-independence
-// contract of the seed derivation: every (check sequence, worker) pair
-// must map to a distinct noise seed. The XOR-of-products mixing this
-// replaced collided systematically on exactly such a grid (e.g. any two
-// pairs whose products cancel under XOR), which silently made distinct
-// checks replay correlated noise.
+// contract of the v1 seed derivation: every (check sequence, worker)
+// pair must map to a distinct noise seed. The XOR-of-products mixing
+// this replaced collided systematically on exactly such a grid (e.g.
+// any two pairs whose products cancel under XOR), which silently made
+// distinct checks replay correlated noise.
 func TestCheckSeedDistinctAcrossGrid(t *testing.T) {
 	const (
 		seqs    = 512
@@ -19,7 +21,7 @@ func TestCheckSeedDistinctAcrossGrid(t *testing.T) {
 		seen := make(map[uint64][2]uint64, seqs*workers)
 		for seq := uint64(0); seq < seqs; seq++ {
 			for w := 0; w < workers; w++ {
-				k := checkSeed(seed, seq, w)
+				k := checkSeed(noise.StreamV1, seed, seq, w)
 				if prev, dup := seen[k]; dup {
 					t.Fatalf("seed %d: (seq=%d, worker=%d) collides with (seq=%d, worker=%d): key %#x",
 						seed, seq, w, prev[0], prev[1], k)
@@ -30,11 +32,36 @@ func TestCheckSeedDistinctAcrossGrid(t *testing.T) {
 	}
 }
 
-// TestCheckSeedRolesNotInterchangeable guards the chain ordering: the
-// derivation must not treat (seq, worker) symmetrically, or swapped
-// identifiers would share streams.
+// TestCheckSeedRolesNotInterchangeable guards the v1 chain ordering:
+// the derivation must not treat (seq, worker) symmetrically, or
+// swapped identifiers would share streams.
 func TestCheckSeedRolesNotInterchangeable(t *testing.T) {
-	if checkSeed(7, 3, 5) == checkSeed(7, 5, 3) {
+	if checkSeed(noise.StreamV1, 7, 3, 5) == checkSeed(noise.StreamV1, 7, 5, 3) {
 		t.Fatal("checkSeed is symmetric in (seq, worker)")
+	}
+}
+
+// TestCheckSeedV2WorkerFree pins the v2 contract: the seed depends
+// only on (engine seed, check sequence) — every worker draws from the
+// same counter-addressed streams (workers partition the sample-index
+// axis instead), which is what makes verdicts worker-count invariant.
+func TestCheckSeedV2WorkerFree(t *testing.T) {
+	for seq := uint64(0); seq < 64; seq++ {
+		base := checkSeed(noise.StreamV2, 42, seq, 0)
+		for w := 1; w < 9; w++ {
+			if got := checkSeed(noise.StreamV2, 42, seq, w); got != base {
+				t.Fatalf("v2 seed depends on worker: seq=%d worker=%d got %#x want %#x",
+					seq, w, got, base)
+			}
+		}
+	}
+	// Distinct checks still get distinct seeds.
+	seen := make(map[uint64]uint64, 512)
+	for seq := uint64(0); seq < 512; seq++ {
+		k := checkSeed(noise.StreamV2, 42, seq, 0)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("v2 seed collision: seq %d vs %d", seq, prev)
+		}
+		seen[k] = seq
 	}
 }

@@ -22,6 +22,7 @@ type Expanded struct {
 	n, m int
 
 	bound    cnf.Assignment
+	cursor   uint64
 	pos, neg []float64
 }
 
@@ -51,9 +52,11 @@ func NewExpanded(f *cnf.Formula, bank SampleSource) *Expanded {
 // Bind constrains a variable in tau_N, as in Evaluator.Bind.
 func (e *Expanded) Bind(v cnf.Var, val cnf.Value) { e.bound[v] = val }
 
-// Step draws one sample from every source and evaluates by enumeration.
+// Step draws the sample at the cursor from every source and evaluates
+// by enumeration.
 func (e *Expanded) Step() Sample {
-	e.bank.Fill(e.pos, e.neg)
+	e.bank.FillBlockAt(e.cursor, 1, e.pos, e.neg)
+	e.cursor++
 	n, m := e.n, e.m
 
 	// tau_N: sum over all assignments consistent with the bindings of

@@ -23,20 +23,25 @@ import (
 	"repro/internal/cnf"
 )
 
-// SampleSource supplies samples of the 2·n·m basis sources. noise.Bank
-// is the stochastic implementation; the sbl package provides a
-// deterministic sinusoid-carrier implementation (Section V's SBL).
+// SampleSource supplies samples of the 2·n·m basis sources under the
+// counter-addressed stream contract (v2): every source is a sequence
+// indexed by a uint64 sample counter, and any block of it is
+// addressable directly. noise.Bank is the stochastic implementation;
+// the sbl package provides a deterministic sinusoid-carrier
+// implementation (Section V's SBL), for which the counter is literally
+// the carrier time t.
 type SampleSource interface {
-	// Fill writes the next sample of the positive- and negative-literal
-	// sources into pos and neg (layout [var*m+clause], 0-based).
-	Fill(pos, neg []float64)
-	// FillBlock writes the next k samples of every source into pos and
-	// neg (length k*n*m each) in source-major layout: entry
-	// [(var*m+clause)*k + s] holds the source's sample s. FillBlock(k)
-	// must consume each source's stream exactly as k Fill calls would,
-	// so scalar and block evaluation are bit-identical and may be
-	// interleaved.
-	FillBlock(k int, pos, neg []float64)
+	// FillBlockAt writes samples base..base+k-1 of every source into
+	// pos and neg (length k*n*m each) in source-major layout: entry
+	// [(var*m+clause)*k + s] holds the source's sample base+s.
+	// Implementations must make the result a function of base and k
+	// only — the same range re-requested, split differently, or
+	// requested out of order yields the same bits — so scalar and block
+	// evaluation are bit-identical and disjoint ranges can be claimed
+	// by concurrent workers. (The v1 migration oracle is the one
+	// sanctioned exception: it serves only sequential bases and panics
+	// on a seek.)
+	FillBlockAt(base uint64, k int, pos, neg []float64)
 	// Dims returns the (variables, clauses) geometry of the source set.
 	Dims() (n, m int)
 }
@@ -48,6 +53,10 @@ type Evaluator struct {
 	f    *cnf.Formula
 	bank SampleSource
 	n, m int
+
+	// cursor is the sample index the next Step/StepBlock call reads at;
+	// the counter-addressed StepBlockAt bypasses it entirely.
+	cursor uint64
 
 	// bound[v] constrains variable v in tau_N (Algorithm 2, line 4/8):
 	// True keeps only the positive-literal branch, False only the
@@ -129,10 +138,18 @@ func (e *Evaluator) Reset(f *cnf.Formula) {
 		panic(err)
 	}
 	e.f = f
+	e.cursor = 0
 	for v := range e.bound {
 		e.bound[v] = cnf.Unassigned
 	}
 }
+
+// Seek positions the evaluator's stream cursor: the next Step or
+// StepBlock reads source samples starting at index base.
+func (e *Evaluator) Seek(base uint64) { e.cursor = base }
+
+// Cursor returns the sample index the next Step/StepBlock reads at.
+func (e *Evaluator) Cursor() uint64 { return e.cursor }
 
 // Bind constrains variable v to val in tau_N. Binding to Unassigned
 // removes the constraint. This mirrors Algorithm 2's construction of the
@@ -162,30 +179,42 @@ type Sample struct {
 	S     float64 // S_N(t) = Tau * Sigma
 }
 
-// Step draws one sample from every noise source and evaluates the
-// hyperspace objects.
+// Step draws the sample at the cursor from every noise source,
+// evaluates the hyperspace objects, and advances the cursor.
 func (e *Evaluator) Step() Sample {
-	e.bank.Fill(e.pos, e.neg)
+	// For k = 1 the source-major block layout [(i*m+j)*1] coincides with
+	// the scalar matrix layout [i*m+j], so the single-sample fill reads
+	// straight into the scalar scratch.
+	e.bank.FillBlockAt(e.cursor, 1, e.pos, e.neg)
+	e.cursor++
 	return e.eval()
 }
 
-// StepBlock draws len(out) samples from every noise source in one
-// FillBlock pass and writes the corresponding S_N values into out. It
-// performs, per sample, exactly the floating-point operations of Step in
-// the same order, so a StepBlock is bit-identical to len(out) Steps over
-// the same source streams (the conformance tests assert this for every
-// noise family). The win is structural: the source dispatch, the binding
-// switch, and the prefix/suffix scratch are amortized over the block,
-// inner loops run stride-1 over SoA buffers, and nothing is allocated
-// per sample.
+// StepBlock draws the next len(out) samples at the cursor, writes the
+// corresponding S_N values into out, and advances the cursor.
 func (e *Evaluator) StepBlock(out []float64) {
+	e.StepBlockAt(e.cursor, out)
+	e.cursor += uint64(len(out))
+}
+
+// StepBlockAt evaluates S_N for source samples base..base+len(out)-1,
+// leaving the cursor untouched: the caller addresses the stream
+// directly, which is how the sampler's workers claim disjoint
+// sample-index ranges. It performs, per sample, exactly the
+// floating-point operations of Step in the same order, so a block is
+// bit-identical to len(out) Steps over the same sample range (the
+// conformance tests assert this for every noise family). The win is
+// structural: the source dispatch, the binding switch, and the
+// prefix/suffix scratch are amortized over the block, inner loops run
+// stride-1 over SoA buffers, and nothing is allocated per sample.
+func (e *Evaluator) StepBlockAt(base uint64, out []float64) {
 	k := len(out)
 	if k == 0 {
 		return
 	}
 	n, m := e.n, e.m
 	b := e.ensureBlock(k)
-	e.bank.FillBlock(k, b.pos[:n*m*k], b.neg[:n*m*k])
+	e.bank.FillBlockAt(base, k, b.pos[:n*m*k], b.neg[:n*m*k])
 
 	// Per-variable products across clauses (cf. eval's first loop). The
 	// all-ones initialization of the scalar kernel is elided by seeding

@@ -6,52 +6,105 @@ import (
 	"repro/internal/rng"
 )
 
+// Stream contract versions. V2 is the default everywhere; V1 survives
+// as the migration oracle (selectable via solver.Config.StreamVersion)
+// until a future PR retires it.
+const (
+	// StreamV1 is the original contract: one stateful xoshiro256**
+	// generator per source, drawn strictly sequentially.
+	StreamV1 = 1
+	// StreamV2 is the counter-based contract: sample i of source src is
+	// a pure function of (seed, src, i) — rng.Word(rng.StreamBase(seed,
+	// src), i) — so fills are data-parallel and streams are seekable.
+	StreamV2 = 2
+)
+
 // Bank is the full complement of 2·m·n independent basis noise sources
 // required by the NBL-SAT transformation of Section III-C: for each of
 // the n variables and each of the m clauses, one source for the positive
 // literal (N^j_{x_i}) and one for the negative literal (N^j_{!x_i}).
 //
-// Bank bypasses the Source interface for throughput: Fill draws one
-// sample from every source directly into caller-provided matrices, which
-// is the hot path of the Monte-Carlo engine (2·n·m draws per S_N sample).
+// Bank bypasses the Source interface for throughput: FillBlockAt draws a
+// whole block from every source directly into caller-provided matrices,
+// which is the hot path of the Monte-Carlo engine (2·n·m draws per S_N
+// sample). Under stream contract v2 (the default) the bank is stateless
+// apart from the deprecated-shim cursor: any sample of any source is
+// addressable directly, so disjoint sample ranges may be filled in any
+// order — the property behind the sampler's worker-count-invariant
+// range claiming.
 type Bank struct {
-	family Family
-	n, m   int
-	// gens holds one generator per source; index layout is
+	family  Family
+	n, m    int
+	version int
+	// bases holds the v2 counter-stream base per source; index layout is
 	// (var*m + clause)*2 + polarity with var, clause 0-based and
 	// polarity 0 for the positive literal, 1 for the negative.
+	bases []uint64
+	// gens holds the v1 stateful generators (same index layout); nil
+	// under v2.
 	gens []rng.Xoshiro256
-	lo   float64 // uniform parameters, unused for other families
-	span float64
+	// cursor backs the deprecated sequential Fill/FillBlock shims. Under
+	// v1 it additionally names the only FillBlockAt base the stateful
+	// generators can serve.
+	cursor uint64
+	lo     float64 // uniform parameters, unused for other families
+	span   float64
 }
 
 // NewBank creates the source bank for an instance with n variables and m
-// clauses. Each source's stream is derived from the experiment seed and
-// the source's (variable, clause, polarity) coordinates, so any two banks
-// with the same arguments produce identical sample sequences.
+// clauses under the default stream contract (v2). Each source's stream
+// is derived from the experiment seed and the source's (variable,
+// clause, polarity) coordinates, so any two banks with the same
+// arguments produce identical sample sequences.
 func NewBank(f Family, seed uint64, n, m int) *Bank {
+	return NewBankVersion(f, seed, n, m, StreamV2)
+}
+
+// NewBankVersion is NewBank pinned to an explicit stream contract
+// version: StreamV2 (counter-based, seekable) or StreamV1 (stateful
+// sequential streams, kept as the migration oracle).
+func NewBankVersion(f Family, seed uint64, n, m, version int) *Bank {
 	if n < 1 || m < 1 {
 		panic("noise: bank requires n >= 1 and m >= 1")
 	}
-	b := &Bank{family: f, n: n, m: m, gens: make([]rng.Xoshiro256, 2*n*m)}
+	if version != StreamV1 && version != StreamV2 {
+		panic("noise: unknown stream contract version")
+	}
+	b := &Bank{family: f, n: n, m: m, version: version}
+	if version == StreamV1 {
+		b.gens = make([]rng.Xoshiro256, 2*n*m)
+	} else {
+		b.bases = make([]uint64, 2*n*m)
+	}
 	switch f {
 	case UniformHalf:
 		b.lo, b.span = -0.5, 1
 	case UniformUnit:
 		b.lo, b.span = -sqrt3, 2*sqrt3
+	case Gaussian, RTW, Pulse:
+	default:
+		panic("noise: unknown family")
 	}
 	b.Reseed(seed)
 	return b
 }
 
-// Reseed re-derives every generator's stream from seed in place, without
-// reallocating the bank. A reseeded bank is indistinguishable from
-// NewBank(family, seed, n, m); the Monte-Carlo engine uses this to reuse
-// one bank (and its evaluator scratch) across decision checks instead of
-// rebuilding 2·n·m generators per check.
+// Reseed re-derives every source's stream from seed in place, without
+// reallocating the bank, and rewinds the shim cursor to sample 0. A
+// reseeded bank is indistinguishable from NewBankVersion(family, seed,
+// n, m, version); the Monte-Carlo engine uses this to reuse one bank
+// (and its evaluator scratch) across decision checks instead of
+// rebuilding 2·n·m streams per check.
 func (b *Bank) Reseed(seed uint64) {
-	for idx := range b.gens {
-		b.gens[idx] = rng.Stream(seed, uint64(idx))
+	b.cursor = 0
+	if b.version == StreamV1 {
+		for idx := range b.gens {
+			b.gens[idx] = rng.Stream(seed, uint64(idx))
+		}
+		return
+	}
+	for idx := range b.bases {
+		b.bases[idx] = rng.StreamBase(seed, uint64(idx))
 	}
 }
 
@@ -61,65 +114,115 @@ func (b *Bank) Family() Family { return b.family }
 // Dims returns (n, m).
 func (b *Bank) Dims() (n, m int) { return b.n, b.m }
 
-// Fill draws one sample from every source. pos and neg must each have
-// length n*m; entry [i*m+j] receives the sample of the positive
-// (respectively negative) literal source of variable i+1 in clause j.
-func (b *Bank) Fill(pos, neg []float64) {
+// StreamVersion returns the bank's stream contract version.
+func (b *Bank) StreamVersion() int { return b.version }
+
+// FillBlockAt draws samples base..base+k-1 of every source. pos and neg
+// must each have length k*n*m in source-major layout: entry
+// [(i*m+j)*k + s] holds sample base+s of the source for variable i+1 in
+// clause j (0-based i, j).
+//
+// Under v2 the call is a pure function of (bank seed, base, k): any
+// block of any source is addressable directly, blocks may be requested
+// in any order, and disjoint ranges may be filled concurrently from
+// separate goroutines holding separate buffers. Under v1 streams are
+// inherently sequential, so base must equal the bank's current cursor
+// (the call panics otherwise) and the cursor advances by k.
+func (b *Bank) FillBlockAt(base uint64, k int, pos, neg []float64) {
 	nm := b.n * b.m
-	if len(pos) != nm || len(neg) != nm {
-		panic("noise: Fill buffer length must be n*m")
+	if len(pos) != nm*k || len(neg) != nm*k {
+		panic("noise: FillBlockAt buffer length must be k*n*m")
+	}
+	if k == 0 {
+		return
+	}
+	if b.version == StreamV1 {
+		if base != b.cursor {
+			panic("noise: stream contract v1 is sequential; FillBlockAt must resume at the bank cursor")
+		}
+		b.fillBlockV1(k, pos, neg)
+		b.cursor = base + uint64(k)
+		return
 	}
 	switch b.family {
 	case UniformHalf, UniformUnit:
-		for k := 0; k < nm; k++ {
-			pos[k] = b.lo + b.span*b.gens[2*k].Float64()
-			neg[k] = b.lo + b.span*b.gens[2*k+1].Float64()
+		// The hot path: each source is one bulk counter fill, which the
+		// rng package data-parallelizes (AVX2 under -tags nblavx2).
+		lo, span := b.lo, b.span
+		for src := 0; src < nm; src++ {
+			o := src * k
+			rng.FillUniformAt(b.bases[2*src], base, pos[o:o+k], lo, span)
+			rng.FillUniformAt(b.bases[2*src+1], base, neg[o:o+k], lo, span)
 		}
 	case Gaussian:
-		for k := 0; k < nm; k++ {
-			pos[k] = b.gens[2*k].Norm()
-			neg[k] = b.gens[2*k+1].Norm()
+		for src := 0; src < nm; src++ {
+			bp, bn := b.bases[2*src], b.bases[2*src+1]
+			o := src * k
+			for s := 0; s < k; s++ {
+				i := base + uint64(s)
+				pos[o+s] = gaussAt(bp, i)
+				neg[o+s] = gaussAt(bn, i)
+			}
 		}
 	case RTW:
-		for k := 0; k < nm; k++ {
-			pos[k] = rtwVal(&b.gens[2*k])
-			neg[k] = rtwVal(&b.gens[2*k+1])
+		for src := 0; src < nm; src++ {
+			bp, bn := b.bases[2*src], b.bases[2*src+1]
+			o := src * k
+			for s := 0; s < k; s++ {
+				i := base + uint64(s)
+				pos[o+s] = rtwAt(bp, i)
+				neg[o+s] = rtwAt(bn, i)
+			}
 		}
 	case Pulse:
-		for k := 0; k < nm; k++ {
-			pos[k] = pulseVal(&b.gens[2*k])
-			neg[k] = pulseVal(&b.gens[2*k+1])
+		for src := 0; src < nm; src++ {
+			bp, bn := b.bases[2*src], b.bases[2*src+1]
+			o := src * k
+			for s := 0; s < k; s++ {
+				i := base + uint64(s)
+				pos[o+s] = pulseAt(bp, i)
+				neg[o+s] = pulseAt(bn, i)
+			}
 		}
 	default:
 		panic("noise: unknown family")
 	}
 }
 
-// FillBlock draws the next k samples of every source. pos and neg must
-// each have length k*n*m in source-major layout: entry [(i*m+j)*k + s]
-// holds sample s of the source for variable i+1 in clause j (0-based i,
-// j; s counts from the bank's current stream position).
+// FillBlock draws the next k samples of every source at the bank's
+// internal cursor (layout as FillBlockAt).
 //
-// FillBlock(k) consumes exactly the same per-source streams as k
-// successive Fill calls, so the two are bit-identical sample for sample
-// and may be freely interleaved. The block form is the fast path: each
-// generator is drawn k times consecutively with its state held in
-// registers, and the per-call family dispatch is amortized over the
-// whole block.
+// Deprecated: FillBlock is the transitional shim for the pre-seek
+// sequential API; new callers should track their own base and use
+// FillBlockAt directly.
 func (b *Bank) FillBlock(k int, pos, neg []float64) {
+	at := b.cursor
+	b.FillBlockAt(at, k, pos, neg)
+	b.cursor = at + uint64(k)
+}
+
+// Fill draws one sample from every source at the bank's internal
+// cursor. pos and neg must each have length n*m; entry [i*m+j] receives
+// the sample of the positive (respectively negative) literal source of
+// variable i+1 in clause j.
+//
+// Deprecated: Fill is FillBlock(1, pos, neg); new callers should use
+// FillBlockAt.
+func (b *Bank) Fill(pos, neg []float64) {
+	b.FillBlock(1, pos, neg)
+}
+
+// fillBlockV1 draws the next k samples from the v1 stateful generators,
+// bit-identical to the original sequential contract: each generator is
+// drawn k times consecutively with its state held in registers.
+func (b *Bank) fillBlockV1(k int, pos, neg []float64) {
 	nm := b.n * b.m
-	if len(pos) != nm*k || len(neg) != nm*k {
-		panic("noise: FillBlock buffer length must be k*n*m")
-	}
-	if k == 0 {
-		return
-	}
 	switch b.family {
 	case UniformHalf, UniformUnit:
-		// The hot path: both generators of a source pair run in one loop
-		// with their state in locals, so the two independent xoshiro
-		// dependency chains pipeline against each other (a single stream
-		// is latency-bound on its serial state update).
+		// Both generators of a source pair run in one loop with their
+		// state in locals, so the two independent xoshiro dependency
+		// chains pipeline against each other (a single stream is
+		// latency-bound on its serial state update).
 		lo, span := b.lo, b.span
 		for src := 0; src < nm; src++ {
 			o := src * k
@@ -161,6 +264,38 @@ func (b *Bank) FillBlock(k int, pos, neg []float64) {
 	}
 }
 
+// gaussAt is the v2 Gaussian sample: a fixed-draw Box–Muller transform
+// over words (2i, 2i+1) of the source's counter stream. v1's polar
+// (rejection) method consumes a data-dependent number of draws and so
+// cannot be addressed by counter; Box–Muller spends exactly two words
+// per sample. 1-u1 lies in (0, 1], keeping the log finite.
+func gaussAt(base, i uint64) float64 {
+	u1 := rng.Uniform01(base, 2*i)
+	u2 := rng.Uniform01(base, 2*i+1)
+	return math.Sqrt(-2*math.Log(1-u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// rtwAt is the v2 telegraph-wave sample: the parity of word i.
+func rtwAt(base, i uint64) float64 {
+	if rng.Word(base, i)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// pulseAt is the v2 pulse-train sample from the single word i: the top
+// 53 bits decide occupancy against pulseDensity, bit 0 the sign.
+func pulseAt(base, i uint64) float64 {
+	w := rng.Word(base, i)
+	if float64(w>>11)*0x1p-53 >= pulseDensity {
+		return 0
+	}
+	if w&1 == 1 {
+		return pulseAmp
+	}
+	return -pulseAmp
+}
+
 func pulseVal(g *rng.Xoshiro256) float64 {
 	if g.Float64() >= pulseDensity {
 		return 0
@@ -186,6 +321,9 @@ func (b *Bank) SourceAt(seed uint64, variable, clause int, neg bool) Source {
 	idx := ((variable-1)*b.m + (clause - 1)) * 2
 	if neg {
 		idx++
+	}
+	if b.version == StreamV1 {
+		return newSourceV1(b.family, seed, uint64(idx))
 	}
 	return NewSource(b.family, seed, uint64(idx))
 }

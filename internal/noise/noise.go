@@ -144,9 +144,55 @@ func (s *pulseSource) Next() float64 {
 	return -pulseAmp
 }
 
+// counterSource replays a stream-v2 source sequentially: sample i is a
+// pure function of (base, i), so the struct's only state is the next
+// index. It emits exactly the stream a v2 Bank produces for the source
+// whose bank index equals the derivation key.
+type counterSource struct {
+	family   Family
+	base     uint64
+	next     uint64
+	lo, span float64
+}
+
+func (s *counterSource) Next() float64 {
+	i := s.next
+	s.next++
+	switch s.family {
+	case UniformHalf, UniformUnit:
+		return s.lo + s.span*rng.Uniform01(s.base, i)
+	case Gaussian:
+		return gaussAt(s.base, i)
+	case RTW:
+		return rtwAt(s.base, i)
+	case Pulse:
+		return pulseAt(s.base, i)
+	default:
+		panic(fmt.Sprintf("noise: unknown family %d", int(s.family)))
+	}
+}
+
 // NewSource returns an independent source of the given family, derived
-// from (seed, key). Distinct keys give independent processes.
+// from (seed, key) under the default stream contract (v2). Distinct
+// keys give independent processes; a key equal to a bank source index
+// replays that bank source's exact stream.
 func NewSource(f Family, seed, key uint64) Source {
+	s := &counterSource{family: f, base: rng.StreamBase(seed, key)}
+	switch f {
+	case UniformHalf:
+		s.lo, s.span = -0.5, 1
+	case UniformUnit:
+		s.lo, s.span = -sqrt3, 2*sqrt3
+	case Gaussian, RTW, Pulse:
+	default:
+		panic(fmt.Sprintf("noise: unknown family %d", int(f)))
+	}
+	return s
+}
+
+// newSourceV1 returns the stream-v1 (stateful xoshiro) source for
+// (seed, key), used by v1 banks' SourceAt replay.
+func newSourceV1(f Family, seed, key uint64) Source {
 	g := rng.NewStream(seed, key)
 	switch f {
 	case UniformHalf:

@@ -279,3 +279,100 @@ func TestPulseBankMatchesSource(t *testing.T) {
 		}
 	}
 }
+
+func TestFillBlockAtSeekable(t *testing.T) {
+	// v2 blocks are addressable: filling [0, 64) as out-of-order chunks
+	// must reproduce the sequential fill bit for bit, for every family.
+	for _, f := range []Family{UniformHalf, UniformUnit, Gaussian, RTW, Pulse} {
+		b := NewBank(f, 11, 2, 3)
+		nm := 6
+		const total = 64
+		wantP, wantN := make([]float64, nm*total), make([]float64, nm*total)
+		b.FillBlockAt(0, total, wantP, wantN)
+		for _, chunk := range []struct{ base, k int }{
+			{48, 16}, {0, 16}, {32, 16}, {16, 16},
+		} {
+			gotP, gotN := make([]float64, nm*chunk.k), make([]float64, nm*chunk.k)
+			b.FillBlockAt(uint64(chunk.base), chunk.k, gotP, gotN)
+			for src := 0; src < nm; src++ {
+				for s := 0; s < chunk.k; s++ {
+					wp := wantP[src*total+chunk.base+s]
+					wn := wantN[src*total+chunk.base+s]
+					if gotP[src*chunk.k+s] != wp || gotN[src*chunk.k+s] != wn {
+						t.Fatalf("%v: seeked block at %d diverges at src %d sample %d",
+							f, chunk.base, src, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFillBlockAtV1RequiresCursor(t *testing.T) {
+	b := NewBankVersion(UniformUnit, 1, 2, 2, StreamV1)
+	pos, neg := make([]float64, 4), make([]float64, 4)
+	b.FillBlockAt(0, 1, pos, neg) // at cursor: fine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("v1 FillBlockAt off-cursor must panic")
+		}
+	}()
+	b.FillBlockAt(7, 1, pos, neg)
+}
+
+func TestBankV1BlockMatchesScalar(t *testing.T) {
+	// The v1 migration oracle keeps its original pin: FillBlock(k) and k
+	// successive Fill calls consume identical streams.
+	for _, f := range []Family{UniformHalf, Gaussian, RTW, Pulse} {
+		blk := NewBankVersion(f, 5, 2, 2, StreamV1)
+		seq := NewBankVersion(f, 5, 2, 2, StreamV1)
+		const k = 16
+		nm := 4
+		bp, bn := make([]float64, nm*k), make([]float64, nm*k)
+		blk.FillBlock(k, bp, bn)
+		sp, sn := make([]float64, nm), make([]float64, nm)
+		for s := 0; s < k; s++ {
+			seq.Fill(sp, sn)
+			for src := 0; src < nm; src++ {
+				if bp[src*k+s] != sp[src] || bn[src*k+s] != sn[src] {
+					t.Fatalf("%v: v1 block/scalar divergence at sample %d src %d", f, s, src)
+				}
+			}
+		}
+	}
+}
+
+func TestSourceAtReplaysBank(t *testing.T) {
+	// SourceAt must replay the bank's own streams under both contracts.
+	for _, version := range []int{StreamV1, StreamV2} {
+		for _, f := range []Family{UniformUnit, Gaussian, RTW, Pulse} {
+			const seed = 13
+			b := NewBankVersion(f, seed, 2, 2, version)
+			srcPos := b.SourceAt(seed, 2, 1, false)
+			srcNeg := b.SourceAt(seed, 2, 1, true)
+			pos, neg := make([]float64, 4), make([]float64, 4)
+			for i := 0; i < 50; i++ {
+				b.Fill(pos, neg)
+				if got, want := srcPos.Next(), pos[2]; got != want {
+					t.Fatalf("v%d %v: SourceAt(+) sample %d = %v, bank %v", version, f, i, got, want)
+				}
+				if got, want := srcNeg.Next(), neg[2]; got != want {
+					t.Fatalf("v%d %v: SourceAt(-) sample %d = %v, bank %v", version, f, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestReseedRewindsCursor(t *testing.T) {
+	b := NewBank(UniformUnit, 3, 2, 2)
+	pos, neg := make([]float64, 4), make([]float64, 4)
+	b.Fill(pos, neg)
+	first := pos[0]
+	b.Fill(pos, neg)
+	b.Reseed(3)
+	b.Fill(pos, neg)
+	if pos[0] != first {
+		t.Error("Reseed(same seed) must rewind the shim cursor to sample 0")
+	}
+}

@@ -1,0 +1,84 @@
+package rng
+
+// Stream contract v2: counter-based stateless generation.
+//
+// Contract v1 derived one stateful xoshiro256** generator per noise
+// source and drew from it sequentially, which made the 2·n·m draws per
+// hyperspace sample an inherently serial dependency chain and pinned
+// every consumer to one cursor per stream. Contract v2 replaces the
+// stateful streams with a pure function of coordinates:
+//
+//	Word(StreamBase(seed, src), i)
+//
+// is sample i of source src under seed, computed directly — no state,
+// no ordering requirement. The generator is SplitMix64 evaluated by
+// counter: a SplitMix64 seeded with base emits mix64(base + golden),
+// mix64(base + 2·golden), ... on successive calls, so
+// Word(base, i) = mix64(base + (i+1)·golden) reproduces exactly the
+// (i+1)-th output of NewSplitMix64(base) while being addressable at any
+// index. SplitMix64 passes BigCrush and its outputs for distinct
+// counters are exactly the generator's own outputs, so statistical
+// quality matches the sequential use of the same generator.
+//
+// Because every sample is independent, bulk fills are embarrassingly
+// data-parallel: FillUniformAt below is the scalar contract, with an
+// optional AVX2 kernel (build tag nblavx2, amd64) that is pinned
+// bit-identical to the pure-Go loop — the Go path is the conformance
+// oracle, not the other way around.
+
+// StreamBase derives the v2 stream base for source src under seed.
+// It is Mix(seed, src): injective in src for a fixed seed, so distinct
+// sources can never share a base.
+func StreamBase(seed, src uint64) uint64 {
+	return Mix(seed, src)
+}
+
+// Word returns sample i of the v2 word stream with the given base:
+// the output a SplitMix64 seeded with base would produce on its
+// (i+1)-th call, computed directly from the coordinates.
+func Word(base, i uint64) uint64 {
+	return mix64(base + (i+1)*golden)
+}
+
+// Uniform01 maps sample i of the stream to [0, 1) with 53 bits of
+// precision, using the same high-bits scaling as Xoshiro256.Float64.
+func Uniform01(base, i uint64) float64 {
+	return float64(Word(base, i)>>11) * 0x1p-53
+}
+
+// FillUniformAt writes dst[s] = lo + span·U(base, start+s) for
+// s in [0, len(dst)), where U is Uniform01. Sample values depend only
+// on (base, index): disjoint index ranges may be filled concurrently,
+// in any order, by any mix of the accelerated and pure-Go paths — the
+// results are bit-identical.
+func FillUniformAt(base, start uint64, dst []float64, lo, span float64) {
+	done := fillUniformAccel(base, start, dst, lo, span)
+	if done < len(dst) {
+		fillUniformGo(base, start+uint64(done), dst[done:], lo, span)
+	}
+}
+
+// fillUniformGo is the portable fill and the conformance oracle for the
+// assembly kernel. The loop carries only the trivially predictable
+// state += golden recurrence; the mix chains of successive iterations
+// are independent, so the CPU pipelines them without any of v1's
+// serial xoshiro dependency.
+func fillUniformGo(base, start uint64, dst []float64, lo, span float64) {
+	state := base + (start+1)*golden
+	for s := range dst {
+		z := state
+		state += golden
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		dst[s] = lo + span*(float64(z>>11)*0x1p-53)
+	}
+}
+
+// FillAccelName reports which accelerated fill kernel FillUniformAt
+// dispatches to: "avx2" when the nblavx2 build tag is on and the CPU
+// supports it, "none" otherwise. Bench archives record it so numbers
+// are attributable to the kernel that produced them.
+func FillAccelName() string {
+	return fillAccelName()
+}

@@ -1,0 +1,43 @@
+//go:build nblavx2 && amd64
+
+package rng
+
+// The AVX2 fill is an explicit opt-in (build tag nblavx2) so the
+// default build stays pure Go on every GOARCH. Even with the tag on,
+// the kernel only runs when the CPU and OS support AVX2 state; the
+// portable loop remains the fallback and the conformance oracle.
+var haveAVX2 = cpuHasAVX2()
+
+// fillUniformAccel fills the largest multiple-of-4 prefix of dst with
+// the AVX2 kernel and reports how many samples it wrote; FillUniformAt
+// finishes the tail with the portable loop. Splitting is sound because
+// v2 samples are pure functions of (base, index) — the two kernels are
+// pinned bit-identical, so any prefix/suffix mix yields the same bits.
+func fillUniformAccel(base, start uint64, dst []float64, lo, span float64) int {
+	n := len(dst) &^ 3
+	if !haveAVX2 || n == 0 {
+		return 0
+	}
+	fillUniformAVX2(base+(start+1)*golden, &dst[0], n, lo, span)
+	return n
+}
+
+func fillAccelName() string {
+	if haveAVX2 {
+		return "avx2"
+	}
+	return "none"
+}
+
+// fillUniformAVX2 writes dst[s] = lo + span·(float64(mix64(state+s·golden)>>11)·2^-53)
+// for s in [0, n). n must be a positive multiple of 4. Implemented in
+// fill_avx2_amd64.s; bit-identical to fillUniformGo by construction
+// (same integer mix, exact u64→f64 conversion, same rounding order:
+// one multiply by 2^-53, one multiply by span, one add of lo).
+//
+//go:noescape
+func fillUniformAVX2(state uint64, dst *float64, n int, lo, span float64)
+
+// cpuHasAVX2 reports CPUID leaf-7 AVX2 with OSXSAVE/XCR0 YMM-state
+// checks, i.e. whether the kernel may legally execute here.
+func cpuHasAVX2() bool

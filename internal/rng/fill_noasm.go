@@ -1,0 +1,12 @@
+//go:build !nblavx2 || !amd64
+
+package rng
+
+// fillUniformAccel is the no-acceleration stub: it fills nothing and
+// lets FillUniformAt run the portable loop. The AVX2 kernel replaces it
+// under `-tags nblavx2` on amd64.
+func fillUniformAccel(base, start uint64, dst []float64, lo, span float64) int {
+	return 0
+}
+
+func fillAccelName() string { return "none" }

@@ -53,7 +53,9 @@ func TestCheckCtxMatchesScalarAccumulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const samples = 5000
+	// 20k samples: the v2 streams at this seed need more than the old
+	// 5k to clear theta=4 (stream re-pin for the v2 contract).
+	const samples = 20_000
 	r, err := blockEng.CheckCtx(context.Background(), samples, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -65,7 +65,7 @@ func (s *rtwSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 			}
 		}
 	} else {
-		eng, err := New(f, s.cfg.Seed)
+		eng, err := NewVersion(f, s.cfg.Seed, s.cfg.StreamVersion)
 		if err != nil {
 			return solver.Result{}, err
 		}
@@ -73,7 +73,10 @@ func (s *rtwSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 	}
 	r, err := s.eng.CheckCtx(ctx, s.cfg.MaxSamples, s.cfg.Theta)
 	out := solver.Result{
-		Stats: solver.Stats{Samples: r.Samples, Mean: r.Mean, StdErr: r.StdErr},
+		Stats: solver.Stats{
+			Samples: r.Samples, Mean: r.Mean, StdErr: r.StdErr,
+			StreamVersion: s.eng.StreamVersion(),
+		},
 	}
 	if err != nil {
 		return out, err

@@ -29,6 +29,11 @@ type Engine struct {
 	seed uint64
 	n, m int
 
+	// cursor is the engine's position on the bank's sample-index axis
+	// (stream contract v2: the bank is stateless, the consumer owns the
+	// position). Reset rewinds it to zero.
+	cursor uint64
+
 	// wide selects the arbitrary-precision kernel: the instance's
 	// worst-case |S_N| exceeds int64 (see New and wide.go).
 	wide bool
@@ -64,13 +69,24 @@ type rtwBlock struct {
 	out          []float64 // float view of a block for the Welford path
 }
 
-// New builds an RTW engine. Instances whose worst-case |S_N| bound
-// (2^n · prod_j(k_j · 2^(n-1))) fits in an int64 get the exact integer
-// block kernel; anything larger — uf20-91 needs ~1900 bits — falls back
-// to the equally exact wide kernel (see wide.go), which factors every
-// sample as sign·(small product)·2^shift and only touches big.Int for
-// the final assembly and the moment accumulators.
+// New builds an RTW engine on the default (v2) stream contract.
+// Instances whose worst-case |S_N| bound (2^n · prod_j(k_j · 2^(n-1)))
+// fits in an int64 get the exact integer block kernel; anything larger
+// — uf20-91 needs ~1900 bits — falls back to the equally exact wide
+// kernel (see wide.go), which factors every sample as
+// sign·(small product)·2^shift and only touches big.Int for the final
+// assembly and the moment accumulators.
 func New(f *cnf.Formula, seed uint64) (*Engine, error) {
+	return NewVersion(f, seed, noise.StreamV2)
+}
+
+// NewVersion is New with an explicit noise stream contract version
+// (noise.StreamV2 default, noise.StreamV1 the legacy migration
+// oracle; 0 selects the default).
+func NewVersion(f *cnf.Formula, seed uint64, stream int) (*Engine, error) {
+	if stream == 0 {
+		stream = noise.StreamV2
+	}
 	n, m := f.NumVars, f.NumClauses()
 	if n < 1 || m < 1 {
 		return nil, fmt.Errorf("rtw: need n >= 1 and m >= 1, got (%d,%d)", n, m)
@@ -78,13 +94,16 @@ func New(f *cnf.Formula, seed uint64) (*Engine, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
+	if stream != noise.StreamV1 && stream != noise.StreamV2 {
+		return nil, fmt.Errorf("rtw: unknown stream version %d", stream)
+	}
 	bitsNeeded, err := widthBits(f)
 	if err != nil {
 		return nil, err
 	}
 	nm := n * m
 	return &Engine{
-		f: f, bank: noise.NewBank(noise.RTW, seed, n, m), seed: seed, n: n, m: m,
+		f: f, bank: noise.NewBankVersion(noise.RTW, seed, n, m, stream), seed: seed, n: n, m: m,
 		wide:  bitsNeeded > 62,
 		bound: cnf.NewAssignment(n),
 		// 32 bytes per source cell: the block kernel keeps float64 fill
@@ -108,7 +127,7 @@ func New(f *cnf.Formula, seed uint64) (*Engine, error) {
 func (e *Engine) Reset(f *cnf.Formula) error {
 	n, m := f.NumVars, f.NumClauses()
 	if n != e.n || m != e.m {
-		fresh, err := New(f, e.seed)
+		fresh, err := NewVersion(f, e.seed, e.bank.StreamVersion())
 		if err != nil {
 			return err
 		}
@@ -130,8 +149,12 @@ func (e *Engine) Reset(f *cnf.Formula) error {
 	// The moment accumulators (wsc) and block scratch need no clearing:
 	// every check zeroes or overwrites them before reading.
 	e.bank.Reseed(e.seed)
+	e.cursor = 0
 	return nil
 }
+
+// StreamVersion reports the engine's noise stream contract version.
+func (e *Engine) StreamVersion() int { return e.bank.StreamVersion() }
 
 // widthBits returns the worst-case |S_N| bit bound for f: the tau
 // bound 2^n plus |Z_j| <= k_j·2^(n-1) per clause. It rejects empty
@@ -172,7 +195,9 @@ func (e *Engine) Step() int64 {
 	if e.wide {
 		panic("rtw: Step would overflow int64 on this geometry; use CheckCtx (wide kernel)")
 	}
-	e.bank.Fill(e.posF, e.negF)
+	// k=1 block layout coincides with the scalar [i*m+j] layout.
+	e.bank.FillBlockAt(e.cursor, 1, e.posF, e.negF)
+	e.cursor++
 	for k := range e.posF {
 		e.pos[k] = int64(e.posF[k])
 		e.neg[k] = int64(e.negF[k])
@@ -242,7 +267,8 @@ func (e *Engine) StepBlock(out []int64) {
 	n, m := e.n, e.m
 	b := e.ensureBlock(k)
 	nmk := n * m * k
-	e.bank.FillBlock(k, b.posF[:nmk], b.negF[:nmk])
+	e.bank.FillBlockAt(e.cursor, k, b.posF[:nmk], b.negF[:nmk])
+	e.cursor += uint64(k)
 	for i := 0; i < nmk; i++ {
 		b.pos[i] = int64(b.posF[i])
 		b.neg[i] = int64(b.negF[i])

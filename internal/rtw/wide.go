@@ -47,10 +47,11 @@ type wideScratch struct {
 }
 
 // stepWide computes one exact S_N into dst. It consumes the bank
-// streams exactly like Step (one Fill per sample), so the wide and
-// int64 kernels see identical noise when both are applicable.
+// streams exactly like Step (one sample at the cursor), so the wide
+// and int64 kernels see identical noise when both are applicable.
 func (e *Engine) stepWide(dst *big.Int) {
-	e.bank.Fill(e.posF, e.negF)
+	e.bank.FillBlockAt(e.cursor, 1, e.posF, e.negF)
+	e.cursor++
 	for k := range e.posF {
 		e.pos[k] = int64(e.posF[k])
 		e.neg[k] = int64(e.negF[k])

@@ -100,48 +100,38 @@ func (o Options) withDefaults() Options {
 
 // carrierBank is a deterministic hyperspace.SampleSource backed by
 // sinusoidal carriers: source k emits sqrt(2)·cos(2π·cycles[k]·t/period).
+// The stream-v2 sample counter is literally the carrier time t, so the
+// bank is stateless: any block at any base is a pure function of the
+// frequency plan.
 type carrierBank struct {
 	n, m   int
 	cycles []int64 // per source, layout (var*m+clause)*2+polarity
 	period int64
-	t      int64
 }
 
 func (b *carrierBank) Dims() (int, int) { return b.n, b.m }
 
-func (b *carrierBank) Fill(pos, neg []float64) {
-	nm := b.n * b.m
-	for k := 0; k < nm; k++ {
-		pos[k] = b.at(2 * k)
-		neg[k] = b.at(2*k + 1)
-	}
-	b.t++
-}
-
-// FillBlock evaluates every carrier at the next k time steps
-// (hyperspace.SampleSource block contract: source-major layout,
-// bit-identical to k Fill calls since the carriers are pure functions
-// of time).
-func (b *carrierBank) FillBlock(k int, pos, neg []float64) {
+// FillBlockAt evaluates every carrier at time steps base..base+k-1
+// (hyperspace.SampleSource contract: source-major layout, addressable
+// at any base since the carriers are pure functions of time).
+func (b *carrierBank) FillBlockAt(base uint64, k int, pos, neg []float64) {
 	nm := b.n * b.m
 	for src := 0; src < nm; src++ {
 		o := src * k
 		for s := 0; s < k; s++ {
-			t := b.t + int64(s)
+			t := base + uint64(s)
 			pos[o+s] = b.atTime(2*src, t)
 			neg[o+s] = b.atTime(2*src+1, t)
 		}
 	}
-	b.t += int64(k)
 }
 
-// at evaluates source idx at the bank's current time with exact integer
-// phase reduction (cycles·t mod period), avoiding precision loss for
-// large cycle counts.
-func (b *carrierBank) at(idx int) float64 { return b.atTime(idx, b.t) }
-
-func (b *carrierBank) atTime(idx int, t int64) float64 {
-	phase := (b.cycles[idx] % b.period) * (t % b.period) % b.period
+// atTime evaluates source idx at time t with exact integer phase
+// reduction (cycles·t mod period), avoiding precision loss for large
+// cycle counts.
+func (b *carrierBank) atTime(idx int, t uint64) float64 {
+	tm := int64(t % uint64(b.period))
+	phase := (b.cycles[idx] % b.period) * tm % b.period
 	return math.Sqrt2 * math.Cos(2*math.Pi*float64(phase)/float64(b.period))
 }
 
@@ -295,7 +285,8 @@ func (e *Engine) Reset(f *cnf.Formula) error {
 		return err
 	}
 	e.f = f
+	// Reset rewinds the evaluator's stream cursor, which under the
+	// counter contract IS the carrier time: t restarts at 0.
 	e.ev.Reset(f)
-	e.bank.t = 0
 	return nil
 }

@@ -1,0 +1,71 @@
+package solver
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamVersionKeyCompatibility pins the cache-identity contract of
+// the stream version knob: default (v2) configs — zero or explicit —
+// key byte-identically to their pre-stream-version form, so durable
+// verdict-store files replay unchanged; only the non-default v1
+// contract earns a key suffix.
+func TestStreamVersionKeyCompatibility(t *testing.T) {
+	base := Config{Seed: 7}
+	v2 := Config{Seed: 7, StreamVersion: StreamV2}
+	if base.Key() != v2.Key() {
+		t.Errorf("zero stream key %q != explicit v2 key %q", base.Key(), v2.Key())
+	}
+	if strings.Contains(base.Key(), "stream") {
+		t.Errorf("default key %q leaks the stream version", base.Key())
+	}
+
+	v1 := Config{Seed: 7, StreamVersion: StreamV1}
+	if v1.Key() == base.Key() {
+		t.Error("v1 and v2 configs share a key; caches would mix contracts")
+	}
+	if !strings.HasSuffix(v1.Key(), "|stream1") {
+		t.Errorf("v1 key %q missing stream suffix", v1.Key())
+	}
+}
+
+// TestStreamVersionValidation pins construction-time rejection of
+// unknown stream contracts.
+func TestStreamVersionValidation(t *testing.T) {
+	Register("stream-test-stub", func(cfg Config) Solver { return Func(nil) })
+	if _, err := NewWith("stream-test-stub", Config{StreamVersion: 3}); err == nil {
+		t.Error("stream version 3 accepted; want construction error")
+	}
+	for _, v := range []int{0, StreamV1, StreamV2} {
+		if _, err := NewWith("stream-test-stub", Config{StreamVersion: v}); err != nil {
+			t.Errorf("stream version %d rejected: %v", v, err)
+		}
+	}
+}
+
+// TestStatsAddAdoptsStreamVersion pins the merge semantics meta-engines
+// rely on: a fresh Stats adopts the component's stream identity, an
+// already-set one keeps its own (first sampling component wins).
+func TestStatsAddAdoptsStreamVersion(t *testing.T) {
+	var s Stats
+	s.Add(Stats{Samples: 10, StreamVersion: StreamV2})
+	if s.StreamVersion != StreamV2 {
+		t.Errorf("merged StreamVersion = %d, want %d (adopted)", s.StreamVersion, StreamV2)
+	}
+	s.Add(Stats{Samples: 5, StreamVersion: StreamV1})
+	if s.StreamVersion != StreamV2 {
+		t.Errorf("merged StreamVersion = %d, want %d (kept)", s.StreamVersion, StreamV2)
+	}
+	if s.Samples != 15 {
+		t.Errorf("Samples = %d, want 15", s.Samples)
+	}
+}
+
+// TestWithStreamVersionOption exercises the functional option.
+func TestWithStreamVersionOption(t *testing.T) {
+	var cfg Config
+	WithStreamVersion(StreamV1)(&cfg)
+	if cfg.StreamVersion != StreamV1 {
+		t.Errorf("WithStreamVersion set %d, want %d", cfg.StreamVersion, StreamV1)
+	}
+}
