@@ -14,6 +14,8 @@
 //	           a bare URL (node named by its host:port) or name=URL
 //	-cooldown  rest period after a refusal with no Retry-After
 //	           (default 1s; 503s with Retry-After override it)
+//	-pprof     expose the Go profiler under /debug/pprof/ (default off;
+//	           profiles leak timing and workload structure)
 //
 // The endpoint set mirrors nblserve's, so clients switch between one
 // replica and the fleet by changing only the address. Job ids are
@@ -34,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -42,9 +45,10 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7796", "listen address (host:port; :0 picks a free port)")
 		nodes    = flag.String("nodes", "", "comma-separated replica base URLs (URL or name=URL)")
 		cooldown = flag.Duration("cooldown", time.Second, "node rest period after an unannotated refusal")
+		pprofOn  = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *nodes, *cooldown); err != nil {
+	if err := run(*addr, *nodes, *cooldown, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "nblrouter:", err)
 		os.Exit(1)
 	}
@@ -83,7 +87,7 @@ func parseNodes(spec string) ([]router.Node, error) {
 	return out, nil
 }
 
-func run(addr, nodeSpec string, cooldown time.Duration) error {
+func run(addr, nodeSpec string, cooldown time.Duration, pprofOn bool) error {
 	nodes, err := parseNodes(nodeSpec)
 	if err != nil {
 		return err
@@ -104,7 +108,12 @@ func run(addr, nodeSpec string, cooldown time.Duration) error {
 	// resolved address, after :0 expansion.
 	fmt.Printf("nblrouter: listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: rt.Handler()}
+	handler := rt.Handler()
+	if pprofOn {
+		handler = obs.WithPprof(handler)
+		fmt.Println("nblrouter: profiler exposed at /debug/pprof/")
+	}
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

@@ -37,6 +37,7 @@ import (
 
 	"repro"
 	"repro/internal/dimacs"
+	"repro/internal/obs"
 )
 
 // SAT-competition exit codes.
@@ -72,6 +73,9 @@ func main() {
 		taskName = flag.String("task", "decide",
 			"what to produce: decide|count|weighted-count|equivalent "+
 				"(equivalent takes two CNF file arguments)")
+		trace = flag.Bool("trace", false,
+			"print the solve's span tree (stage durations, per-check SNR "+
+				"trajectory tail) after the verdict")
 	)
 	flag.Parse()
 	solMode = *sol
@@ -144,7 +148,22 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// report() exits the process (defers would not run), so the trace
+	// tree is finished and printed inline right after the solve.
+	var tr *obs.Trace
+	var root *obs.Span
+	if *trace {
+		tr = obs.NewTrace("")
+		root = tr.Root("solve")
+		root.SetAttr("engine", engineName)
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
 	res, err := s.Solve(ctx, f)
+	if tr != nil {
+		root.SetAttr("status", res.Status.String())
+		root.Finish()
+		obs.WriteTree(info, tr.JSON())
+	}
 	if *prep && res.Stats.NMBefore > 0 {
 		fmt.Fprintf(info, "preprocess: n·m %d -> %d, %d component(s)\n",
 			res.Stats.NMBefore, res.Stats.NMAfter, res.Stats.Components)

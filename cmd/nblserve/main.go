@@ -25,6 +25,13 @@
 //	          400 instead of tying up a worker on an exponential
 //	          enumeration (default 64; negative disables the bound)
 //	-drain    graceful-shutdown grace period (default 30s)
+//	-trace-slow
+//	          log the full span tree of any job whose submit-to-finish
+//	          latency meets this duration (0, the default, disables);
+//	          the same trees are always queryable via /jobs/{id}/trace
+//	-pprof    expose the Go profiler under /debug/pprof/ (default off;
+//	          profiles leak timing and workload structure, so opt in
+//	          only on instances you are comfortable profiling remotely)
 //
 // API sketch (see internal/service for the full surface):
 //
@@ -32,6 +39,8 @@
 //	curl -d @instance.cnf 'localhost:7797/solve?timeout=30s'   # async
 //	curl localhost:7797/jobs/j1?wait=5s                        # long-poll
 //	curl localhost:7797/jobs/j1/events                         # SSE progress
+//	curl localhost:7797/jobs/j1/trace                          # span tree
+//	curl localhost:7797/debug/traces                           # recent traces
 //	curl -X DELETE localhost:7797/jobs/j1                      # cancel
 //	curl localhost:7797/metrics                                # Prometheus
 //
@@ -56,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/verdictstore"
 
@@ -78,16 +88,21 @@ func main() {
 		engine       = flag.String("engine", "pre(portfolio)", "default engine expression for submissions that name none")
 		maxCountVars = flag.Int("max-count-vars", 64,
 			"variable bound for counting tasks; above it submissions get 400 (negative disables)")
-		drain = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight jobs")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight jobs")
+		traceSlow = flag.Duration("trace-slow", 0,
+			"log the span tree of jobs at least this slow end to end (0 disables)")
+		pprofOn = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *store, *nodeID, *engine, *maxCountVars, *drain); err != nil {
+	if err := run(*addr, *workers, *queue, *cache, *store, *nodeID, *engine, *maxCountVars,
+		*drain, *traceSlow, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "nblserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, storePath, nodeID, engine string, maxCountVars int, drain time.Duration) error {
+func run(addr string, workers, queue, cache int, storePath, nodeID, engine string, maxCountVars int,
+	drain, traceSlow time.Duration, pprofOn bool) error {
 	// Listen before constructing the server: the default node id embeds
 	// the resolved port (":0" expansion included), and a busy address
 	// should fail before a store file is opened.
@@ -128,13 +143,19 @@ func run(addr string, workers, queue, cache int, storePath, nodeID, engine strin
 		MaxCountVars:  maxCountVars,
 		Store:         vs,
 		NodeID:        nodeID,
+		TraceSlow:     traceSlow,
 	})
 
 	// The machine-readable line tools (and the e2e tests) key on: the
 	// resolved address, after :0 expansion.
 	fmt.Printf("nblserve: listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if pprofOn {
+		handler = obs.WithPprof(handler)
+		fmt.Println("nblserve: profiler exposed at /debug/pprof/")
+	}
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

@@ -23,6 +23,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // proc is one running fleet binary plus its parsed listen address.
@@ -337,5 +339,55 @@ func TestFleetEndToEnd(t *testing.T) {
 		if !nd.Healthy {
 			t.Fatalf("node %s unhealthy after restart: %+v", nd.Name, health)
 		}
+	}
+
+	// 7. Fleet-wide tracing: a routed solve that reaches a sampling
+	// engine yields ONE trace tree under one trace ID — the router's
+	// submit spans with the replica's queue/cache/pool/pipeline/engine
+	// spans grafted beneath them — and the UNKNOWN mc verdict's check
+	// span carries a non-empty SNR trajectory.
+	hardBody, err := os.ReadFile("testdata/rand8-hard.cnf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardNode, hardJob, _ := fleetPost(t,
+		rp.base+"/solve?engine=pre(mc)&sync=1&samples=50000", string(hardBody))
+	if hardJob.State != "done" || hardJob.Result == nil ||
+		hardJob.Result.Status != StatusUnknown {
+		t.Fatalf("hard instance should finish UNKNOWN: %+v", hardJob)
+	}
+	var tr obs.TraceJSON
+	getJSON(t, rp.base+"/jobs/"+hardJob.ID+"/trace", &tr)
+	if tr.TraceID == "" {
+		t.Fatal("fleet trace has no trace ID")
+	}
+	if tr.Job != hardJob.ID {
+		t.Fatalf("fleet trace tagged %q, want %q", tr.Job, hardJob.ID)
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "router.submit" {
+		t.Fatalf("fleet trace should be one tree under router.submit, got %+v", tr.Spans)
+	}
+	for _, name := range []string{
+		"router.forward", "job", "queue.wait", "cache.lru", "pool.acquire",
+		"solve", "pipeline.simplify", "pipeline.component", "mc.check",
+	} {
+		if tr.Find(name) == nil {
+			t.Errorf("fleet trace is missing the %q span", name)
+		}
+	}
+	check := tr.Find("mc.check")
+	if check == nil || len(check.Traj) == 0 {
+		t.Fatalf("UNKNOWN verdict's check span has no SNR trajectory: %+v", check)
+	}
+
+	// The replica's own copy of the trace (fetched directly, bypassing
+	// the router) must carry the same trace ID — one ID across both
+	// processes is what makes the fleet hop diagnosable.
+	remote := strings.TrimPrefix(hardJob.ID, hardNode+"-")
+	var replicaTr obs.TraceJSON
+	getJSON(t, replicas[hardNode].base+"/jobs/"+remote+"/trace", &replicaTr)
+	if replicaTr.TraceID != tr.TraceID {
+		t.Fatalf("trace ID split across the fleet hop: router %q, replica %q",
+			tr.TraceID, replicaTr.TraceID)
 	}
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"strconv"
 	"sync"
 
 	"repro/internal/cnf"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -130,7 +132,27 @@ func (s *mcSolver) Reset(f *cnf.Formula) bool {
 	return warm
 }
 
+// Solve wraps the locked solve in the check span: name, geometry,
+// verdict, and the per-round SNR trajectory fed through the engine's
+// Progress hook. On an untraced context the span is nil and the whole
+// wrapper is a context lookup — the sampling loop itself never sees
+// the tracer.
 func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	sp, ctx := obs.StartSpan(ctx, "mc.check")
+	if sp != nil {
+		sp.SetAttr("n", strconv.Itoa(f.NumVars))
+		sp.SetAttr("m", strconv.Itoa(f.NumClauses()))
+	}
+	out, err := s.solve(ctx, f, sp)
+	if sp != nil {
+		sp.SetAttr("samples", strconv.FormatInt(out.Stats.Samples, 10))
+		sp.SetAttr("status", out.Status.String())
+		sp.Finish()
+	}
+	return out, err
+}
+
+func (s *mcSolver) solve(ctx context.Context, f *cnf.Formula, sp *obs.Span) (solver.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fam, err := ParseFamily(s.cfg.Family)
@@ -160,9 +182,30 @@ func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 		}
 		s.eng = eng
 	}
-	if fn := solver.ProgressFromContext(ctx); fn != nil {
+	// One installed hook serves both consumers: the service's live
+	// progress stream and the span's SNR trajectory. The hook fires
+	// only at merged convergence-round boundaries (from the
+	// coordinating goroutine), so the per-sample hot loop stays
+	// untouched either way.
+	fn := solver.ProgressFromContext(ctx)
+	if fn != nil || sp != nil {
+		theta := eng.Options().Theta
+		round := 0
 		eng.SetProgress(func(samples int64, mean, stderr float64) {
-			fn(solver.Stats{Samples: samples, Mean: mean, StdErr: stderr})
+			if fn != nil {
+				fn(solver.Stats{Samples: samples, Mean: mean, StdErr: stderr})
+			}
+			if sp != nil {
+				round++
+				dist := 0.0
+				if stderr > 0 {
+					dist = mean/stderr - theta
+				}
+				sp.Point(obs.TrajPoint{
+					Round: round, Samples: samples,
+					Mean: mean, StdErr: stderr, Dist: dist,
+				})
+			}
 		})
 		defer eng.SetProgress(nil)
 	}

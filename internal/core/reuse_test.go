@@ -135,3 +135,62 @@ func TestProgressReportsAtRoundBoundaries(t *testing.T) {
 		t.Fatalf("snapshot carries no sample count: %+v", snaps)
 	}
 }
+
+// TestProgressUnderChunkClaimingSampler pins the hook's contract under
+// the stream-contract-v2 sampler, whose workers race to claim chunks
+// within a round: the hook must fire only at merged round boundaries
+// (every CheckEvery samples exactly, after the coordinator folds the
+// per-chunk partials), so the observed sample counts are monotonically
+// nondecreasing — in fact identical — for any worker count.
+func TestProgressUnderChunkClaimingSampler(t *testing.T) {
+	// UNSAT 2-var contradiction: the mean never crosses the line, so the
+	// engine burns the whole budget — a fixed MaxSamples/CheckEvery
+	// ratio worth of rounds, for every worker count.
+	f := cnf.FromClauses([]int{1, 2}, []int{1, -2}, []int{-1, 2}, []int{-1, -2})
+	const checkEvery, maxSamples = 25_000, 100_000
+
+	var want []int64
+	for _, workers := range []int{1, 3, 8} {
+		var counts []int64
+		eng, err := NewEngine(f, Options{
+			Family:        noise.UniformUnit,
+			Workers:       workers,
+			MaxSamples:    maxSamples,
+			CheckEvery:    checkEvery,
+			StreamVersion: noise.StreamV2,
+			Progress: func(samples int64, mean, stderr float64) {
+				counts = append(counts, samples)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Check()
+		if len(counts) == 0 {
+			t.Fatalf("workers=%d: progress hook never fired", workers)
+		}
+		for i, n := range counts {
+			if i > 0 && n < counts[i-1] {
+				t.Fatalf("workers=%d: sample counts regressed: %v", workers, counts)
+			}
+			if n%checkEvery != 0 {
+				t.Errorf("workers=%d: count %d is not a merged round boundary (CheckEvery %d): %v",
+					workers, n, int64(checkEvery), counts)
+			}
+		}
+		if want == nil {
+			want = counts
+			continue
+		}
+		if len(counts) != len(want) {
+			t.Fatalf("workers=%d: %d progress rounds, want %d (counts %v vs %v)",
+				workers, len(counts), len(want), counts, want)
+		}
+		for i := range counts {
+			if counts[i] != want[i] {
+				t.Fatalf("workers=%d: round %d reported %d samples, workers=1 reported %d",
+					workers, i, counts[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import "context"
+
+// spanKey carries the current *Span through context, mirroring the
+// progressKey pattern in internal/solver: private key type, typed
+// accessor, nil when absent.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when the context
+// is untraced.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's current span and returns
+// it plus a context carrying it. On an untraced context it returns
+// (nil, ctx) — the original context, zero allocations — so call sites
+// can be unconditional:
+//
+//	sp, ctx := obs.StartSpan(ctx, "pipeline.simplify")
+//	defer sp.Finish()
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	s := parent.StartChild(name)
+	return s, ContextWithSpan(ctx, s)
+}

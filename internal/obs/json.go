@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// SpanJSON is the wire form of one span: times collapse to an offset
+// from the trace's first span plus a duration, children are nested,
+// and the SNR trajectory rides along verbatim. Offsets are relative
+// to the owning process's trace start, so a grafted cross-process
+// tree (router + replica) needs no clock agreement between hosts.
+type SpanJSON struct {
+	Name     string      `json:"name"`
+	StartUS  int64       `json:"start_us"`
+	DurUS    int64       `json:"dur_us"`
+	Attrs    []Attr      `json:"attrs,omitempty"`
+	Traj     []TrajPoint `json:"traj,omitempty"`
+	Children []*SpanJSON `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire form of a whole trace: the trace ID shared
+// across the fleet hop, the job the trace belongs to, and the root
+// spans of the tree.
+type TraceJSON struct {
+	TraceID string      `json:"trace_id"`
+	Job     string      `json:"job,omitempty"`
+	Spans   []*SpanJSON `json:"spans"`
+}
+
+// JSON snapshots the trace as a span tree. Safe while spans are still
+// running: an unfinished span reports its duration so far. Spans
+// whose parent is missing from the snapshot are promoted to roots.
+func (t *Trace) JSON() *TraceJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &TraceJSON{TraceID: t.id, Job: t.job}
+	if len(t.spans) == 0 {
+		return out
+	}
+	base := t.spans[0].Start
+	now := time.Now()
+	nodes := make(map[int]*SpanJSON, len(t.spans))
+	for _, s := range t.spans {
+		end := s.end
+		if end.IsZero() {
+			end = now
+		}
+		j := &SpanJSON{
+			Name:    s.Name,
+			StartUS: s.Start.Sub(base).Microseconds(),
+			DurUS:   end.Sub(s.Start).Microseconds(),
+			Attrs:   append([]Attr(nil), s.attrs...),
+			Traj:    append([]TrajPoint(nil), s.traj...),
+		}
+		nodes[s.ID] = j
+	}
+	for _, s := range t.spans {
+		j := nodes[s.ID]
+		if p := nodes[s.Parent]; p != nil {
+			p.Children = append(p.Children, j)
+		} else {
+			out.Spans = append(out.Spans, j)
+		}
+	}
+	return out
+}
+
+// Graft hangs the spans of child under the first root span of t (the
+// router's fleet-hop merge: the replica's tree becomes a subtree of
+// the router's submission span). With no root of its own, t adopts
+// the child's roots directly.
+func (t *TraceJSON) Graft(child *TraceJSON) {
+	if t == nil || child == nil {
+		return
+	}
+	if len(t.Spans) == 0 {
+		t.Spans = child.Spans
+		return
+	}
+	t.Spans[0].Children = append(t.Spans[0].Children, child.Spans...)
+}
+
+// WriteTree renders the trace as an indented text tree — one line per
+// span with its duration and attrs, plus the SNR trajectory tail for
+// spans that carry one. This is the `nblsat -trace` and -trace-slow
+// surface.
+func WriteTree(w io.Writer, t *TraceJSON) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(w, "trace %s", t.TraceID)
+	if t.Job != "" {
+		fmt.Fprintf(w, " job %s", t.Job)
+	}
+	fmt.Fprintln(w)
+	for _, s := range t.Spans {
+		writeSpan(w, s, 1)
+	}
+}
+
+func writeSpan(w io.Writer, s *SpanJSON, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s%-24s %10s", indent, s.Name, durString(s.DurUS))
+	for _, a := range s.Attrs {
+		fmt.Fprintf(w, " %s=%s", a.Key, a.Val)
+	}
+	fmt.Fprintln(w)
+	if n := len(s.Traj); n > 0 {
+		p := s.Traj[n-1]
+		fmt.Fprintf(w, "%s  snr[%d pts] last: round=%d n=%d mean=%.4g se=%.4g dist=%+.2f\n",
+			indent, n, p.Round, p.Samples, p.Mean, p.StdErr, p.Dist)
+	}
+	for _, c := range s.Children {
+		writeSpan(w, c, depth+1)
+	}
+}
+
+func durString(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+// Walk visits every span of the tree depth-first, parents before
+// children (the metrics bridge uses it to feed stage histograms).
+func (t *TraceJSON) Walk(fn func(*SpanJSON)) {
+	if t == nil {
+		return
+	}
+	var rec func(*SpanJSON)
+	rec = func(s *SpanJSON) {
+		fn(s)
+		for _, c := range s.Children {
+			rec(c)
+		}
+	}
+	for _, s := range t.Spans {
+		rec(s)
+	}
+}
+
+// Find returns the first span in depth-first order whose name matches,
+// or nil. Test and assertion helper.
+func (t *TraceJSON) Find(name string) *SpanJSON {
+	var hit *SpanJSON
+	t.Walk(func(s *SpanJSON) {
+		if hit == nil && s.Name == name {
+			hit = s
+		}
+	})
+	return hit
+}

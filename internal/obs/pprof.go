@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// WithPprof mounts the net/http/pprof endpoints under /debug/pprof/
+// in front of next. Both daemons serve on their own mux (never
+// http.DefaultServeMux), so the stdlib's init-time registration does
+// not expose anything on its own; this wrapper is the only way the
+// profiler becomes reachable, and the CLIs gate it behind -pprof
+// (default off) because CPU/heap profiles of a solve service leak
+// timing and workload structure.
+func WithPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
+}

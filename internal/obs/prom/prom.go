@@ -1,0 +1,162 @@
+// Package prom is the shared hand-rolled Prometheus text-exposition
+// layer. The repository vendors nothing, so nblserve and nblrouter
+// each grew their own metrics writer; this package unifies the float
+// formatting, the HELP/TYPE preamble, and the cumulative-histogram
+// rendering both need, and adds a label-capped histogram vector for
+// the span-fed stage-duration families. Output is the standard text
+// format (version 0.0.4): counters, gauges, and histograms with
+// cumulative buckets and a +Inf terminal, so any scraper ingests it
+// unchanged.
+package prom
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// FormatFloat renders a float the way Prometheus clients expect
+// (shortest round-trip decimal, no exponent surprises for NaN/Inf).
+func FormatFloat(f float64) string {
+	if math.IsInf(f, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Head writes the # HELP / # TYPE preamble for one family.
+func Head(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter writes a whole single-sample counter family.
+func Counter(w io.Writer, name, help string, v int64) {
+	Head(w, name, "counter", help)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// Gauge writes a whole single-sample gauge family with an integer
+// value.
+func Gauge(w io.Writer, name, help string, v int64) {
+	Head(w, name, "gauge", help)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// GaugeFloat writes a whole single-sample gauge family.
+func GaugeFloat(w io.Writer, name, help string, v float64) {
+	Head(w, name, "gauge", help)
+	fmt.Fprintf(w, "%s %s\n", name, FormatFloat(v))
+}
+
+// Histogram is a fixed-bound cumulative histogram. Not safe for
+// concurrent use on its own — callers either hold their own lock (the
+// service's metrics mutex) or use HistogramVec, which locks.
+type Histogram struct {
+	Bounds  []float64 // upper bounds, ascending; +Inf is implicit
+	Buckets []int64   // cumulative counts per bound
+	Count   int64
+	Sum     float64
+}
+
+// NewHistogram builds a histogram over the given upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{Bounds: bounds, Buckets: make([]int64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.Bounds {
+		if v <= ub {
+			h.Buckets[i]++
+		}
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Write renders the histogram's sample lines (no preamble) under the
+// given family name. labels is the rendered label body without braces
+// (e.g. `engine="mc"`) or "" for an unlabeled series; the mandatory
+// le label is appended after it.
+func (h *Histogram) Write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, ub := range h.Bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, FormatFloat(ub), h.Buckets[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, FormatFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, FormatFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+}
+
+// HistogramVec is a label-keyed family of histograms with a series
+// cap: label values are often client-influenced (engine expressions,
+// stage names from nested metas), so past maxSeries-1 distinct values
+// new observations fold into an "other" series instead of growing the
+// state and the /metrics document without bound. Safe for concurrent
+// use.
+type HistogramVec struct {
+	mu        sync.Mutex
+	label     string
+	bounds    []float64
+	maxSeries int
+	series    map[string]*Histogram
+}
+
+// NewHistogramVec builds a vector keyed by one label over the given
+// bounds, folding into "other" past maxSeries series.
+func NewHistogramVec(label string, bounds []float64, maxSeries int) *HistogramVec {
+	return &HistogramVec{
+		label:     label,
+		bounds:    bounds,
+		maxSeries: maxSeries,
+		series:    make(map[string]*Histogram),
+	}
+}
+
+// Observe records one value under the given label value.
+func (v *HistogramVec) Observe(labelVal string, x float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.series[labelVal]
+	if h == nil {
+		if len(v.series) >= v.maxSeries-1 {
+			labelVal = "other"
+			h = v.series[labelVal]
+		}
+		if h == nil {
+			h = NewHistogram(v.bounds)
+			v.series[labelVal] = h
+		}
+	}
+	h.Observe(x)
+}
+
+// Write renders the whole family, preamble included, series sorted by
+// label value.
+func (v *HistogramVec) Write(w io.Writer, name, help string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	Head(w, name, "histogram", help)
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v.series[k].Write(w, name, fmt.Sprintf("%s=%q", v.label, k))
+	}
+}

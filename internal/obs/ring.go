@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded ring of completed traces — the per-replica (and
+// per-router) trace store behind GET /jobs/{id}/trace and GET
+// /debug/traces. Old traces are overwritten in arrival order; lookup
+// is by the job id the trace was tagged with. The ring holds a few
+// hundred traces of a few KB each, so a replica's trace memory is
+// bounded regardless of traffic.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int // insertion cursor
+	n    int // live count, ≤ len(buf)
+}
+
+// NewRing builds a ring holding up to capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]*Trace, capacity)}
+}
+
+// Add records a completed trace, evicting the oldest when full.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// ByJob returns the most recent trace tagged with the given job id,
+// or nil.
+func (r *Ring) ByJob(job string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= r.n; i++ {
+		t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if t != nil && t.Job() == job {
+			return t
+		}
+	}
+	return nil
+}
+
+// Recent returns up to n traces, newest first.
+func (r *Ring) Recent(n int) []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.n {
+		n = r.n
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -43,10 +43,12 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"strconv"
 	"sync"
 
 	"repro/internal/cnf"
 	"repro/internal/enginepool"
+	"repro/internal/obs"
 	"repro/internal/simplify"
 	"repro/internal/solver"
 )
@@ -109,10 +111,37 @@ func (p *Pipeline) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 	return p.solveDecide(ctx, f)
 }
 
+// runSimplify is Simplify with its span: nm before/after and the BVE
+// elimination count ride as attrs, so a trace shows exactly how much
+// of the 4^(n·m) exponent preprocessing bought before any noise was
+// drawn.
+func runSimplify(ctx context.Context, f *cnf.Formula, opts simplify.Options) *simplify.Result {
+	sp, _ := obs.StartSpan(ctx, "pipeline.simplify")
+	pre := simplify.Simplify(f, opts)
+	if sp != nil {
+		sp.SetAttr("nm_before", strconv.Itoa(pre.Stats.NMBefore()))
+		sp.SetAttr("nm_after", strconv.Itoa(pre.Stats.NMAfter()))
+		sp.SetAttr("bve_eliminated", strconv.Itoa(pre.Stats.VarsEliminated))
+		sp.Finish()
+	}
+	return pre
+}
+
+// runDecompose is Decompose with its span (component count as attr).
+func runDecompose(ctx context.Context, f *cnf.Formula) []*simplify.Component {
+	sp, _ := obs.StartSpan(ctx, "pipeline.decompose")
+	comps := simplify.Decompose(f)
+	if sp != nil {
+		sp.SetAttr("components", strconv.Itoa(len(comps)))
+		sp.Finish()
+	}
+	return comps
+}
+
 // solveDecide is the original decide pipeline: full Simplify,
 // short-circuits, Decompose, fan out, merge verdicts.
 func (p *Pipeline) solveDecide(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
-	pre := simplify.Simplify(f, p.Simplify)
+	pre := runSimplify(ctx, f, p.Simplify)
 	out := solver.Result{Stats: solver.Stats{
 		NMBefore: int64(pre.Stats.NMBefore()),
 		NMAfter:  int64(pre.Stats.NMAfter()),
@@ -130,7 +159,7 @@ func (p *Pipeline) solveDecide(ctx context.Context, f *cnf.Formula) (solver.Resu
 		return out, nil
 	}
 
-	comps := simplify.Decompose(pre.F)
+	comps := runDecompose(ctx, pre.F)
 	out.Stats.Components = int64(len(comps))
 	for _, c := range comps {
 		for _, cl := range c.F.Clauses {
@@ -235,15 +264,29 @@ func (p *Pipeline) fanOut(ctx context.Context, comps []*simplify.Component) ([]s
 			return nil, nil, nil, err
 		}
 		wg.Add(1)
-		go func(i int, lease *enginepool.Lease) {
+		go func(i int, comp *simplify.Component, lease *enginepool.Lease) {
 			defer wg.Done()
-			r, err := lease.Solve(compCtx)
+			// One span per component: its geometry and lease warmth are
+			// the trace's answer to "which component was the straggler,
+			// and did it pay a cold engine build on top".
+			sp, solveCtx := obs.StartSpan(compCtx, "pipeline.component")
+			if sp != nil {
+				sp.SetAttr("component", strconv.Itoa(i))
+				sp.SetAttr("vars", strconv.Itoa(comp.F.NumVars))
+				sp.SetAttr("clauses", strconv.Itoa(comp.F.NumClauses()))
+				sp.SetAttr("warm", strconv.FormatBool(lease.Warm()))
+			}
+			r, err := lease.Solve(solveCtx)
 			lease.Release()
+			if sp != nil {
+				sp.SetAttr("status", r.Status.String())
+				sp.Finish()
+			}
 			results[i] = slot{r, err}
 			if err == nil && r.Status == solver.StatusUnsat {
 				cancel()
 			}
-		}(i, lease)
+		}(i, comp, lease)
 	}
 	wg.Wait()
 	return results, compCtx, cancel, nil
@@ -264,7 +307,7 @@ func (p *Pipeline) solveCount(ctx context.Context, f *cnf.Formula) (solver.Resul
 	opts := p.Simplify
 	opts.DisablePure = true
 	opts.DisableBVE = true
-	pre := simplify.Simplify(f, opts)
+	pre := runSimplify(ctx, f, opts)
 	out := solver.Result{Stats: solver.Stats{
 		NMBefore: int64(pre.Stats.NMBefore()),
 		NMAfter:  int64(pre.Stats.NMAfter()),
@@ -296,7 +339,7 @@ func (p *Pipeline) solveCount(ctx context.Context, f *cnf.Formula) (solver.Resul
 		return out, nil
 	}
 
-	comps := simplify.Decompose(pre.F)
+	comps := runDecompose(ctx, pre.F)
 	out.Stats.Components = int64(len(comps))
 	for _, c := range comps {
 		for _, cl := range c.F.Clauses {
@@ -339,7 +382,7 @@ func (p *Pipeline) solveWeighted(ctx context.Context, f *cnf.Formula) (solver.Re
 		return out, nil
 	}
 
-	comps := simplify.Decompose(f)
+	comps := runDecompose(ctx, f)
 	out.Stats.Components = int64(len(comps))
 	mentioned := 0
 	for _, c := range comps {

@@ -8,6 +8,7 @@
 //	GET    /jobs/{id}         proxy to the owning replica (?wait=...)
 //	GET    /jobs/{id}/events  proxy the SSE stream, ids renamespaced
 //	DELETE /jobs/{id}         proxy the cancel
+//	GET    /jobs/{id}/trace   merged fleet trace (router + replica spans)
 //	GET    /metrics           fleet aggregation (see handleMetrics)
 //	GET    /healthz           per-node health + overall verdict
 package router
@@ -25,6 +26,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dimacs"
+	"repro/internal/obs"
+	"repro/internal/obs/prom"
 )
 
 // Handler returns the router's HTTP handler.
@@ -36,6 +39,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", rt.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", rt.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", rt.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/trace", rt.handleTrace)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	return mux
@@ -82,14 +86,22 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The router's trace for this submission: the replica adopts the
+	// same trace ID through the X-NBL-Trace stamp, so its spans and
+	// these merge into one fleet-wide tree on /jobs/{id}/trace.
+	tr := obs.NewTrace("")
+	root := tr.Root("router.submit")
+	fwd := root.StartChild("router.forward")
 	resp, node, err := rt.forward(r, rt.rank(fp, vars, clauses),
-		http.MethodPost, "/solve?"+r.URL.RawQuery, body)
+		http.MethodPost, "/solve?"+r.URL.RawQuery, body, tr.ID())
 	if err != nil {
 		rt.submitErrors.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterFleet()))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	fwd.SetAttr("node", node.Name)
+	fwd.Finish()
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
@@ -112,6 +124,10 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.track(id, node.Name)
 	rt.submits.Add(1)
+	root.SetAttr("node", node.Name)
+	root.Finish()
+	tr.SetJob(id)
+	rt.traces.Add(tr)
 	w.Header().Set("Location", "/jobs/"+id)
 	w.WriteHeader(resp.StatusCode)
 	w.Write(out) //nolint:errcheck // client gone; nothing to do
@@ -167,8 +183,12 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i].Code = http.StatusBadRequest
 			continue
 		}
+		// Each batch instance routes (and traces) independently, same
+		// as a single /solve.
+		tr := obs.NewTrace("")
+		root := tr.Root("router.submit")
 		resp, node, err := rt.forward(r, rt.rank(fp, vars, clauses),
-			http.MethodPost, "/solve?"+query, body)
+			http.MethodPost, "/solve?"+query, body, tr.ID())
 		if err != nil {
 			rt.submitErrors.Add(1)
 			items[i].Error = err.Error()
@@ -202,6 +222,10 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		rt.track(id, node.Name)
 		rt.submits.Add(1)
+		root.SetAttr("node", node.Name)
+		root.Finish()
+		tr.SetJob(id)
+		rt.traces.Add(tr)
 		items[i].Job = out
 		accepted++
 	}
@@ -355,6 +379,55 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 }
 
+// handleTrace answers the fleet view of one job's trace. The owning
+// replica holds the bulk of the tree (queue, cache, pool, pipeline,
+// engine checks); it shares a trace ID with the router's own
+// submit-side spans through the X-NBL-Trace stamp, so the two trees
+// merge here — the replica's roots graft under the router's
+// router.submit span. If the router's side is gone (restart, ring
+// eviction) the replica's tree is relayed alone, renamespaced.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	nd, remote, ok := rt.resolve(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	resp, err := rt.get(r, nd, "/jobs/"+remote+"/trace")
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("%s unreachable: %w", nd.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("reading %s: %w", nd.Name, err))
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		copyBackendHeaders(w, resp)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(raw) //nolint:errcheck // client gone; nothing to do
+		return
+	}
+	var replica obs.TraceJSON
+	if err := json.Unmarshal(raw, &replica); err != nil {
+		writeError(w, http.StatusBadGateway,
+			fmt.Errorf("%s answered an unreadable trace: %w", nd.Name, err))
+		return
+	}
+	rt.proxied.Add(1)
+	replica.Job = id
+	merged := rt.traces.ByJob(id).JSON()
+	if merged == nil {
+		writeJSON(w, http.StatusOK, &replica)
+		return
+	}
+	merged.Job = id
+	merged.Graft(&replica)
+	writeJSON(w, http.StatusOK, merged)
+}
+
 // handleMetrics writes the fleet view in three layers:
 //
 //  1. the router's own nblrouter_* counters;
@@ -366,18 +439,18 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 //     fleet do" is one line regardless of fleet size.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# TYPE nblrouter_nodes gauge\nnblrouter_nodes %d\n", len(rt.nodes))
+	prom.Gauge(&b, "nblrouter_nodes", "Replicas this router fronts.", int64(len(rt.nodes)))
 	for _, c := range []struct {
-		name string
-		v    *atomic.Int64
+		name, help string
+		v          *atomic.Int64
 	}{
-		{"nblrouter_submits_total", &rt.submits},
-		{"nblrouter_submit_errors_total", &rt.submitErrors},
-		{"nblrouter_failovers_total", &rt.failovers},
-		{"nblrouter_proxied_total", &rt.proxied},
-		{"nblrouter_scrape_errors_total", &rt.scrapeErrors},
+		{"nblrouter_submits_total", "Solve submissions routed to a replica.", &rt.submits},
+		{"nblrouter_submit_errors_total", "Submissions no replica would take.", &rt.submitErrors},
+		{"nblrouter_failovers_total", "Forwards that fell through to a lower-ranked replica.", &rt.failovers},
+		{"nblrouter_proxied_total", "Job-scoped requests proxied to the owning replica.", &rt.proxied},
+		{"nblrouter_scrape_errors_total", "Replica scrapes that failed.", &rt.scrapeErrors},
 	} {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v.Load())
+		prom.Counter(&b, c.name, c.help, c.v.Load())
 	}
 
 	fleet := make(map[string]float64)

@@ -48,6 +48,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/dimacs"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes mirrors the service's submission cap.
@@ -92,6 +93,13 @@ type Router struct {
 	jobNode map[string]string    // namespaced job id -> node name
 	coolOff map[string]time.Time // node name -> earliest next attempt
 
+	// traces holds the router-side spans of forwarded submissions,
+	// keyed by namespaced job id. Each trace shares its ID with the
+	// replica's trace (the X-NBL-Trace stamp), so /jobs/{id}/trace can
+	// graft the replica's tree under the router's submission span into
+	// one fleet-wide tree.
+	traces *obs.Ring
+
 	submits      atomic.Int64 // jobs accepted by some backend
 	submitErrors atomic.Int64 // submissions no backend accepted
 	failovers    atomic.Int64 // node refusals that moved a job onward
@@ -121,6 +129,7 @@ func New(cfg Config) (*Router, error) {
 		now:     cfg.Now,
 		jobNode: make(map[string]string),
 		coolOff: make(map[string]time.Time),
+		traces:  obs.NewRing(256),
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{}
@@ -197,7 +206,9 @@ func (rt *Router) cool(name string, d time.Duration) {
 // on; cooling nodes are demoted to a second pass rather than skipped
 // outright, so a fully-cooling fleet still gets one honest attempt.
 // Any other response, success or client error, belongs to the caller.
-func (rt *Router) forward(r *http.Request, order []Node, method, pathAndQuery string, body []byte) (*http.Response, Node, error) {
+// A non-empty traceID is stamped on every attempt as the X-NBL-Trace
+// header, making the accepting replica's trace part of the router's.
+func (rt *Router) forward(r *http.Request, order []Node, method, pathAndQuery string, body []byte, traceID string) (*http.Response, Node, error) {
 	var hot, cold []Node
 	for _, nd := range order {
 		if _, resting := rt.cooling(nd.Name); resting {
@@ -214,6 +225,9 @@ func (rt *Router) forward(r *http.Request, order []Node, method, pathAndQuery st
 		}
 		if method == http.MethodPost {
 			req.Header.Set("Content-Type", "text/plain")
+		}
+		if traceID != "" {
+			req.Header.Set("X-NBL-Trace", traceID)
 		}
 		resp, err := rt.client.Do(req)
 		if err != nil {

@@ -24,6 +24,7 @@ type fakeBackend struct {
 	retryAfter string      // Retry-After on refusals ("" omits it)
 	metrics    string
 	lastBody   atomic.Value // []byte: most recent /solve body
+	lastTrace  atomic.Value // string: most recent X-NBL-Trace header
 }
 
 func newFakeBackend(t *testing.T, name string) *fakeBackend {
@@ -33,6 +34,7 @@ func newFakeBackend(t *testing.T, name string) *fakeBackend {
 	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
 		body, _ := io.ReadAll(r.Body)
 		b.lastBody.Store(body)
+		b.lastTrace.Store(r.Header.Get("X-NBL-Trace"))
 		if b.refuse.Load() {
 			if b.retryAfter != "" {
 				w.Header().Set("Retry-After", b.retryAfter)
@@ -62,6 +64,20 @@ func newFakeBackend(t *testing.T, name string) *fakeBackend {
 	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/event-stream")
 		fmt.Fprintf(w, "event: done\ndata: {\"id\":%q,\"state\":\"done\"}\n\n", r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.PathValue("id"), "j") {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"no such job"}`)
+			return
+		}
+		// A replica's trace adopts the trace ID stamped at submission —
+		// echo the captured header back the way nblserve would.
+		tid, _ := b.lastTrace.Load().(string)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"trace_id":%q,"job":%q,"spans":[{"name":"job","start_us":0,"dur_us":42,`+
+			`"children":[{"name":"solve","start_us":1,"dur_us":40}]}]}`,
+			tid, r.PathValue("id"))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, b.metrics)

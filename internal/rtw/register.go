@@ -2,10 +2,12 @@ package rtw
 
 import (
 	"context"
+	"strconv"
 	"sync"
 
 	"repro/internal/cnf"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -50,7 +52,36 @@ func (s *rtwSolver) Reset(f *cnf.Formula) bool {
 	return warm
 }
 
+// Solve wraps the locked solve in the check span. The telegraph-wave
+// engine has no round-boundary progress hook, so the span's SNR
+// trajectory is the single end-of-check point (the final mean,
+// stderr, and distance to the theta·stderr decision line).
 func (s *rtwSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	sp, ctx := obs.StartSpan(ctx, "rtw.check")
+	if sp != nil {
+		sp.SetAttr("n", strconv.Itoa(f.NumVars))
+		sp.SetAttr("m", strconv.Itoa(f.NumClauses()))
+	}
+	out, err := s.solve(ctx, f)
+	if sp != nil {
+		if st := out.Stats; st.Samples > 0 {
+			dist := 0.0
+			if st.StdErr > 0 {
+				dist = st.Mean/st.StdErr - s.cfg.Theta
+			}
+			sp.Point(obs.TrajPoint{
+				Round: 1, Samples: st.Samples,
+				Mean: st.Mean, StdErr: st.StdErr, Dist: dist,
+			})
+		}
+		sp.SetAttr("samples", strconv.FormatInt(out.Stats.Samples, 10))
+		sp.SetAttr("status", out.Status.String())
+		sp.Finish()
+	}
+	return out, err
+}
+
+func (s *rtwSolver) solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cfg.FindModel {

@@ -3,9 +3,11 @@ package sbl
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -61,7 +63,38 @@ func (s *sblSolver) alloc() (Allocation, error) {
 	}
 }
 
+// Solve wraps the locked solve in the check span. SBL's DC read-out
+// is deterministic (no stderr), so the span's trajectory is one point
+// whose Dist is the absolute margin of the windowed mean over the
+// engine's threshold.
 func (s *sblSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
+	sp, ctx := obs.StartSpan(ctx, "sbl.check")
+	if sp != nil {
+		sp.SetAttr("n", strconv.Itoa(f.NumVars))
+		sp.SetAttr("m", strconv.Itoa(f.NumClauses()))
+	}
+	out, err := s.solve(ctx, f)
+	if sp != nil {
+		if st := out.Stats; st.Samples > 0 {
+			threshold := 0.0
+			s.mu.Lock()
+			if s.eng != nil {
+				threshold = s.eng.opts.Threshold
+			}
+			s.mu.Unlock()
+			sp.Point(obs.TrajPoint{
+				Round: 1, Samples: st.Samples,
+				Mean: st.Mean, Dist: st.Mean - threshold,
+			})
+		}
+		sp.SetAttr("samples", strconv.FormatInt(out.Stats.Samples, 10))
+		sp.SetAttr("status", out.Status.String())
+		sp.Finish()
+	}
+	return out, err
+}
+
+func (s *sblSolver) solve(ctx context.Context, f *cnf.Formula) (solver.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cfg.FindModel {

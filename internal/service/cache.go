@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/verdictstore"
 )
@@ -89,12 +90,14 @@ func (c *verdictCache) enabled() bool { return c.cap > 0 || c.store != nil }
 // get returns the cached Result for (engine, config, canonical
 // formula), with the stored model translated into the requester's
 // variable space. An LRU miss falls through to the durable store; a
-// store hit is promoted into the LRU on its way out.
-func (c *verdictCache) get(task solver.Task, engine, cfg string, canon *cnf.Canonical) (solver.Result, bool) {
+// store hit is promoted into the LRU on its way out. Each probed tier
+// records a hit-tagged child span under sp (nil sp: untraced).
+func (c *verdictCache) get(sp *obs.Span, task solver.Task, engine, cfg string, canon *cnf.Canonical) (solver.Result, bool) {
 	if !c.enabled() {
 		return solver.Result{}, false
 	}
 	key := cacheKey(task, engine, cfg, canon.Fingerprint())
+	lru := sp.StartChild("cache.lru")
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, found := c.entries[key]; found {
@@ -103,17 +106,26 @@ func (c *verdictCache) get(task solver.Task, engine, cfg string, canon *cnf.Cano
 		c.order.MoveToFront(el)
 		res := e.res
 		res.Assignment = canon.FromCanonical(e.model)
+		lru.SetAttr("hit", "true")
+		lru.Finish()
 		return res, true
 	}
+	lru.SetAttr("hit", "false")
+	lru.Finish()
 	if c.store != nil {
+		st := sp.StartChild("cache.store")
 		if rec, ok := c.store.GetTask(string(task), engine, cfg, canon.Fingerprint()); ok {
 			e := &cacheEntry{key: key, res: rec.Result, model: rec.Result.Assignment}
 			e.res.Assignment = nil
 			c.insertLocked(key, e)
 			res := e.res
 			res.Assignment = canon.FromCanonical(e.model)
+			st.SetAttr("hit", "true")
+			st.Finish()
 			return res, true
 		}
+		st.SetAttr("hit", "false")
+		st.Finish()
 	}
 	c.misses++
 	return solver.Result{}, false

@@ -52,6 +52,7 @@ import (
 	"repro/internal/dimacs"
 	"repro/internal/enginepool"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -76,6 +77,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.NodeID == "" {
@@ -268,6 +271,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// A router-stamped trace ID makes this job's spans part of the
+	// fleet-level trace instead of starting a fresh one.
+	opts.TraceID = r.Header.Get("X-NBL-Trace")
 
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var f *cnf.Formula
@@ -560,6 +566,63 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTrace serves a terminal job's span tree. A job still queued
+// or running has no completed trace yet; one evicted from the ring by
+// newer traffic is gone — both are 404s that say which.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if tj := s.Trace(id); tj != nil {
+		writeJSON(w, http.StatusOK, tj)
+		return
+	}
+	if job, err := s.Job(id); err == nil {
+		if !job.Snapshot().State.Terminal() {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("job %q has not finished; traces are recorded at completion", id))
+			return
+		}
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("trace for job %q was evicted from the trace ring", id))
+		return
+	}
+	writeError(w, http.StatusNotFound, ErrNoSuchJob)
+}
+
+// traceSummaryJSON is one /debug/traces row: enough to pick a trace
+// to fetch in full from /jobs/{id}/trace.
+type traceSummaryJSON struct {
+	TraceID string `json:"trace_id"`
+	Job     string `json:"job"`
+	Root    string `json:"root,omitempty"`
+	DurUS   int64  `json:"dur_us"`
+	Spans   int    `json:"spans"`
+}
+
+// handleTraces lists recently completed traces, newest first
+// (?n= caps the count, default 20).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("n must be a positive integer"))
+			return
+		}
+		n = parsed
+	}
+	out := make([]traceSummaryJSON, 0, n)
+	for _, tj := range s.RecentTraces(n) {
+		row := traceSummaryJSON{TraceID: tj.TraceID, Job: tj.Job}
+		if len(tj.Spans) > 0 {
+			row.Root = tj.Spans[0].Name
+			row.DurUS = tj.Spans[0].DurUS
+		}
+		tj.Walk(func(*obs.SpanJSON) { row.Spans++ })
+		out = append(out, row)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

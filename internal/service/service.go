@@ -38,9 +38,11 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"strconv"
 	"sync"
@@ -48,6 +50,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/enginepool"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/verdictstore"
 )
@@ -102,6 +105,14 @@ type Config struct {
 	// enumerates whole components, so an oversized instance must be a
 	// 400 at submit, not a worker lost to a year-long solve.
 	MaxCountVars int
+	// TraceSlow, when positive, logs the full span tree of any job
+	// whose submit-to-finish wall time reaches it (the -trace-slow
+	// flag): the trace of a slow solve is captured at the moment it
+	// matters instead of hoping the ring still holds it later.
+	TraceSlow time.Duration
+	// TraceRing caps the completed-trace ring behind
+	// GET /jobs/{id}/trace and /debug/traces (default 256).
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +133,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCountVars == 0 {
 		c.MaxCountVars = 64
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
 	}
 	return c
 }
@@ -156,6 +170,12 @@ type Job struct {
 	f     *cnf.Formula
 	canon *cnf.Canonical // computed at submit, reused by finish's cache put
 	cfg   solver.Config
+
+	// trace/root/queueSpan are written once at submit and only read
+	// afterwards; span mutation locks the trace itself.
+	trace     *obs.Trace
+	root      *obs.Span
+	queueSpan *obs.Span
 }
 
 // Errors returned by Submit and the job accessors.
@@ -167,9 +187,10 @@ var (
 
 // Server is the resident solve service.
 type Server struct {
-	cfg   Config
-	cache *verdictCache
-	met   *metrics
+	cfg    Config
+	cache  *verdictCache
+	met    *metrics
+	traces *obs.Ring // completed traces, newest-first lookup by job id
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -200,6 +221,7 @@ func NewServer(cfg Config) *Server {
 		cfg:        cfg,
 		cache:      newVerdictCache(cfg.CacheEntries, cfg.Store),
 		met:        newMetrics(),
+		traces:     obs.NewRing(cfg.TraceRing),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		accepting:  true,
@@ -229,6 +251,10 @@ type SubmitOptions struct {
 	// to a miter formula (the HTTP layer does this): the engine then
 	// decides the miter while the job remains labeled equivalent.
 	Task solver.Task
+	// TraceID adopts a propagated trace ID (the router's X-NBL-Trace
+	// header) instead of drawing a fresh one, so the router's spans
+	// and this replica's spans share one trace.
+	TraceID string
 }
 
 // Submit validates, consults the verdict cache, and either completes
@@ -275,11 +301,15 @@ func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
 		f:         f,
 		cfg:       opts.Solver,
 	}
+	job.trace = obs.NewTrace(opts.TraceID)
+	job.root = job.trace.Root("job")
+	job.root.SetAttr("engine", engine)
+	job.root.SetAttr("task", string(task))
 
 	if s.cache.enabled() {
 		job.canon = cnf.Canonicalize(f)
 	}
-	if res, ok := s.cache.get(task, engine, opts.Solver.Key(), job.canon); ok {
+	if res, ok := s.cache.get(job.root, task, engine, opts.Solver.Key(), job.canon); ok {
 		// Replay: the stored Result verbatim (stats, wall, engine), the
 		// model translated through this submission's renaming. The job
 		// is fully terminal *before* register publishes it — once it is
@@ -300,6 +330,7 @@ func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
 		}
 		s.register(job)
 		s.mu.Unlock()
+		s.completeTrace(job, string(StateDone), res.Status.String())
 		s.met.jobFinished(string(StateDone), engine, task, 0, 0)
 		return job, nil
 	}
@@ -324,6 +355,7 @@ func (s *Server) Submit(f *cnf.Formula, opts SubmitOptions) (*Job, error) {
 		cancel()
 		return nil, ErrQueueFull
 	}
+	job.queueSpan = job.root.StartChild("queue.wait")
 	s.register(job)
 	s.pending = append(s.pending, job)
 	s.queued++
@@ -362,7 +394,9 @@ func (s *Server) reapQueued(j *Job) {
 	j.err = j.ctx.Err()
 	j.finished = time.Now()
 	j.mu.Unlock()
+	j.queueSpan.Finish()
 	j.release()
+	s.completeTrace(j, string(StateCancelled), "")
 	s.met.jobFinished(string(StateCancelled), j.Engine, j.Task, 0, 0)
 	close(j.done)
 }
@@ -386,6 +420,7 @@ func (s *Server) defaultEngine(task solver.Task) string {
 func (s *Server) register(job *Job) {
 	s.nextID++
 	job.ID = "j" + strconv.FormatUint(s.nextID, 10)
+	job.trace.SetJob(job.ID)
 	s.jobs[job.ID] = job
 	s.jobOrder = append(s.jobOrder, job.ID)
 	// Evict oldest terminal jobs over the retention cap — head-only, so
@@ -494,20 +529,27 @@ func (s *Server) worker() {
 		job.state = StateRunning
 		job.started = time.Now()
 		job.mu.Unlock()
+		job.queueSpan.Finish()
 
+		acq := job.root.StartChild("pool.acquire")
 		lease, err := enginepool.Default.Acquire(job.Engine, job.cfg, job.f)
 		if err != nil {
 			// Validated at submit; only a racing registry change can
 			// land here. Fail the job, not the worker.
+			acq.Finish()
 			s.finish(job, solver.Result{}, err)
 			continue
 		}
+		acq.SetAttr("warm", strconv.FormatBool(lease.Warm()))
+		acq.Finish()
 		ctx := solver.ContextWithProgress(job.ctx, func(st solver.Stats) {
 			job.mu.Lock()
 			job.progress = st
 			job.mu.Unlock()
 		})
-		res, err := lease.Solve(ctx)
+		solveSpan := job.root.StartChild("solve")
+		res, err := lease.Solve(obs.ContextWithSpan(ctx, solveSpan))
+		solveSpan.Finish()
 		lease.Release()
 		s.finish(job, res, err)
 	}
@@ -548,8 +590,51 @@ func (s *Server) finish(job *Job, res solver.Result, err error) {
 		s.cache.put(job.Task, job.Engine, job.cfg.Key(), job.canon, res)
 	}
 	job.release()
+	s.completeTrace(job, string(state), res.Status.String())
 	s.met.jobFinished(string(state), job.Engine, job.Task, res.Stats.Samples, res.Wall)
 	close(job.done)
+}
+
+// completeTrace closes a job's root span, lands the trace in the
+// ring, feeds the stage histograms from it, and — for jobs at or over
+// the -trace-slow threshold — logs the full span tree while it is
+// guaranteed to still exist.
+func (s *Server) completeTrace(job *Job, state, status string) {
+	job.root.SetAttr("state", state)
+	if status != "" {
+		job.root.SetAttr("status", status)
+	}
+	job.root.Finish()
+	tj := job.trace.JSON()
+	s.met.observeTrace(tj)
+	s.traces.Add(job.trace)
+	if s.cfg.TraceSlow > 0 {
+		job.mu.Lock()
+		wall := job.finished.Sub(job.submitted)
+		job.mu.Unlock()
+		if wall >= s.cfg.TraceSlow {
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "slow job %s (%s >= -trace-slow %s)\n", job.ID, wall, s.cfg.TraceSlow)
+			obs.WriteTree(&buf, tj)
+			log.Print(buf.String())
+		}
+	}
+}
+
+// Trace returns the completed span tree for a job, or nil when the
+// ring no longer (or never) held it.
+func (s *Server) Trace(jobID string) *obs.TraceJSON {
+	return s.traces.ByJob(jobID).JSON()
+}
+
+// RecentTraces returns up to n completed traces, newest first.
+func (s *Server) RecentTraces(n int) []*obs.TraceJSON {
+	traces := s.traces.Recent(n)
+	out := make([]*obs.TraceJSON, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.JSON())
+	}
+	return out
 }
 
 // release drops the references a terminal job no longer needs. The

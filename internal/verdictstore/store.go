@@ -63,6 +63,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -130,6 +131,13 @@ func TaskKey(task, engine, configKey, fingerprint string) string {
 
 // ErrNotDefinitive is returned by Put for an UNKNOWN verdict.
 var ErrNotDefinitive = errors.New("verdictstore: only definitive verdicts are stored")
+
+// Warnf receives the store's rare operational warnings — today only
+// the torn-tail truncation at Open, one structured line naming the
+// file, the byte offset truncated to, the bytes dropped, and the
+// records that survived. It defaults to the standard logger (stderr);
+// tests swap it to capture the line.
+var Warnf = func(format string, args ...any) { log.Printf(format, args...) }
 
 // Store is a concurrency-safe, append-only verdict store over one file.
 type Store struct {
@@ -208,6 +216,8 @@ func (s *Store) load() error {
 
 	if good < info.Size() {
 		s.tornBytes = info.Size() - good
+		Warnf("verdictstore: torn tail truncated path=%s offset=%d torn_bytes=%d records_recovered=%d",
+			s.path, good, s.tornBytes, s.loaded)
 		if err := s.f.Truncate(good); err != nil {
 			return err
 		}

@@ -2,8 +2,10 @@ package verdictstore
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -145,6 +147,9 @@ func TestDuplicateKeySkipsAppend(t *testing.T) {
 // cleanly, keep every earlier record, and truncate the torn tail so the
 // next append lands on a clean boundary.
 func TestTornTailTruncation(t *testing.T) {
+	defer func(old func(string, ...any)) { Warnf = old }(Warnf)
+	Warnf = func(string, ...any) {} // hundreds of cuts; the line itself is TestTornTailWarning's
+
 	s, path := openTemp(t)
 	recs := []Record{testRecord(0, solver.StatusSat), testRecord(1, solver.StatusUnsat)}
 	for _, r := range recs {
@@ -194,6 +199,70 @@ func TestTornTailTruncation(t *testing.T) {
 			t.Fatalf("cut at %d: re-appended record unreadable", cut)
 		}
 		re.Close()
+	}
+}
+
+// TestTornTailWarning pins the operational contract of the recovery
+// path: exactly one structured warning line naming the file, the byte
+// offset the file was truncated back to, the bytes dropped, and the
+// records that survived.
+func TestTornTailWarning(t *testing.T) {
+	defer func(old func(string, ...any)) { Warnf = old }(Warnf)
+	var lines []string
+	Warnf = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+
+	s, path := openTemp(t)
+	recs := []Record{testRecord(0, solver.StatusSat), testRecord(1, solver.StatusUnsat)}
+	for _, r := range recs {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := fileSize(t, path)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec0End := frameEnd(t, pristine, 1)
+	cut := rec0End + (full-rec0End)/2 // mid-record tear
+	if err := os.WriteFile(path, pristine[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(lines) != 1 {
+		t.Fatalf("recovery logged %d warning lines, want 1: %q", len(lines), lines)
+	}
+	for _, want := range []string{
+		"path=" + path,
+		fmt.Sprintf("offset=%d", rec0End),
+		fmt.Sprintf("torn_bytes=%d", cut-rec0End),
+		"records_recovered=1",
+	} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("warning %q missing %q", lines[0], want)
+		}
+	}
+
+	// A clean reopen must stay silent.
+	lines = nil
+	re.Close()
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re2.Close()
+	if len(lines) != 0 {
+		t.Fatalf("clean open logged %q", lines)
 	}
 }
 
