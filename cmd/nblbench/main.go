@@ -69,11 +69,13 @@ type Report struct {
 	// on faster or slower hardware still gates code regressions rather
 	// than hardware differences.
 	CalibrationOpsPerSec float64 `json:"calibration_ops_per_sec"`
-	// FillAccel names the accelerated fill kernel the rng package was
-	// built with ("avx2" under the nblavx2 build tag on amd64, "none"
-	// otherwise) — reports from tagged and untagged builds are
-	// distinguishable after the fact.
+	// FillAccel and EvalAccel name the accelerated kernels the binary
+	// was built with ("avx2" under the nblavx2 build tag on amd64,
+	// "none" otherwise): FillAccel the rng noise-fill backend, EvalAccel
+	// the hyperspace block-evaluator row kernels — reports from tagged
+	// and untagged builds are distinguishable after the fact.
 	FillAccel string      `json:"fill_accel"`
+	EvalAccel string      `json:"eval_accel"`
 	Kernel    []KernelRun `json:"kernel"`
 	Runs      []EngineRun `json:"runs"`
 	Pool      []PoolRun   `json:"pool"`
@@ -98,7 +100,11 @@ type PoolRun struct {
 }
 
 // KernelRun compares the scalar and block evaluation kernels on one
-// instance geometry.
+// instance geometry, and splits the block path's per-sample cost into
+// its two stages: FillNs is the noise fill alone (measured by running
+// bank.FillBlockAt over the same blocks without evaluating), EvalNs the
+// S_N evaluation share (block total minus fill, floored at zero). The
+// split shows which stage an accelerated build actually moved.
 type KernelRun struct {
 	Instance        string  `json:"instance"`
 	Vars            int     `json:"vars"`
@@ -106,6 +112,8 @@ type KernelRun struct {
 	ScalarPerSec    float64 `json:"scalar_samples_per_sec"`
 	BlockPerSec     float64 `json:"block_samples_per_sec"`
 	BlockSpeedup    float64 `json:"block_speedup"`
+	FillNs          float64 `json:"fill_ns"`
+	EvalNs          float64 `json:"eval_ns"`
 	SamplesMeasured int64   `json:"samples_measured"`
 }
 
@@ -122,8 +130,11 @@ type EngineRun struct {
 	Samples       int64   `json:"samples"`
 	SamplesPerSec float64 `json:"samples_per_sec"`
 	// StreamVersion echoes the noise stream contract the engine drew
-	// from (sampling engines only; omitted for search engines).
+	// from (sampling engines only; omitted for search engines), and
+	// FillAccel/EvalAccel the kernel backends its hot path ran on.
 	StreamVersion int    `json:"stream_version,omitempty"`
+	FillAccel     string `json:"fill_accel,omitempty"`
+	EvalAccel     string `json:"eval_accel,omitempty"`
 	NMBefore      int64  `json:"nm_before,omitempty"`
 	NMAfter       int64  `json:"nm_after,omitempty"`
 	Components    int64  `json:"components,omitempty"`
@@ -178,6 +189,7 @@ func main() {
 		Tiny:                 *tiny,
 		CalibrationOpsPerSec: calibrate(),
 		FillAccel:            rng.FillAccelName(),
+		EvalAccel:            hyperspace.EvalAccelName(),
 	}
 
 	// Kernel microbenchmark: scalar vs block samples/sec on the paper's
@@ -194,8 +206,8 @@ func main() {
 	for _, in := range kernelInsts {
 		kr := kernelBench(in, *seed, kernelBudget)
 		rep.Kernel = append(rep.Kernel, kr)
-		fmt.Printf("kernel %-16s scalar %12.0f/s  block %12.0f/s  speedup %.2fx\n",
-			in.name, kr.ScalarPerSec, kr.BlockPerSec, kr.BlockSpeedup)
+		fmt.Printf("kernel %-16s scalar %12.0f/s  block %12.0f/s  speedup %.2fx  fill %.0fns  eval %.0fns\n",
+			in.name, kr.ScalarPerSec, kr.BlockPerSec, kr.BlockSpeedup, kr.FillNs, kr.EvalNs)
 	}
 
 	lineup := strings.Split(*engines, ",")
@@ -405,7 +417,31 @@ func kernelBench(in instance, seed uint64, budget int64) KernelRun {
 		done += k
 	}
 	blockSec := float64(budget) / time.Since(start).Seconds()
+
+	// Fill-only pass over the same block schedule: the bank work the
+	// block path above also performs, measured without the evaluation.
+	// The difference attributes the block path's per-sample cost to its
+	// two stages.
+	fillBank := noise.NewBank(noise.UniformUnit, seed, n, m)
+	pos := make([]float64, n*m*len(buf))
+	neg := make([]float64, n*m*len(buf))
+	start = time.Now()
+	for done := int64(0); done < budget; {
+		k := int64(len(buf))
+		if rem := budget - done; rem < k {
+			k = rem
+		}
+		fillBank.FillBlockAt(uint64(done), int(k), pos[:n*m*int(k)], neg[:n*m*int(k)])
+		sink += pos[0]
+		done += k
+	}
+	fillNs := time.Since(start).Seconds() * 1e9 / float64(budget)
 	_ = sink
+
+	evalNs := 1e9/blockSec - fillNs
+	if evalNs < 0 {
+		evalNs = 0
+	}
 
 	return KernelRun{
 		Instance:        in.name,
@@ -414,6 +450,8 @@ func kernelBench(in instance, seed uint64, budget int64) KernelRun {
 		ScalarPerSec:    scalarSec,
 		BlockPerSec:     blockSec,
 		BlockSpeedup:    blockSec / scalarSec,
+		FillNs:          fillNs,
+		EvalNs:          evalNs,
 		SamplesMeasured: budget,
 	}
 }
@@ -527,6 +565,8 @@ func solveOne(engine string, in instance, seed uint64, samples int64, timeout ti
 	run.WallNS = res.Wall.Nanoseconds()
 	run.Samples = res.Stats.Samples
 	run.StreamVersion = res.Stats.StreamVersion
+	run.FillAccel = res.Stats.FillAccel
+	run.EvalAccel = res.Stats.EvalAccel
 	run.NMBefore = res.Stats.NMBefore
 	run.NMAfter = res.Stats.NMAfter
 	run.Components = res.Stats.Components

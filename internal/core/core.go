@@ -65,7 +65,7 @@ type Options struct {
 	// Block overrides the sampling batch size. Default 0 selects the
 	// cache-aware hyperspace.BlockSize for the instance geometry. The
 	// per-source sample streams are identical for every block size
-	// (SampleSource's FillBlock contract), so Block never changes
+	// (SampleSource's FillBlockAt contract), so Block never changes
 	// results — only throughput.
 	Block int
 	// Progress, when non-nil, observes the running statistic after every

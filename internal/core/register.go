@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/cnf"
+	"repro/internal/hyperspace"
 	"repro/internal/noise"
 	"repro/internal/obs"
 	"repro/internal/solver"
@@ -142,6 +143,14 @@ func (s *mcSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, er
 	if sp != nil {
 		sp.SetAttr("n", strconv.Itoa(f.NumVars))
 		sp.SetAttr("m", strconv.Itoa(f.NumClauses()))
+		sp.SetAttr("eval_accel", hyperspace.EvalAccelName())
+		if fam, err := ParseFamily(s.cfg.Family); err == nil {
+			v := s.cfg.StreamVersion
+			if v == 0 {
+				v = noise.StreamV2
+			}
+			sp.SetAttr("fill_accel", noise.FillAccelKernel(fam, v))
+		}
 	}
 	out, err := s.solve(ctx, f, sp)
 	if sp != nil {
@@ -214,6 +223,7 @@ func (s *mcSolver) solve(ctx context.Context, f *cnf.Formula, sp *obs.Span) (sol
 		res, err := eng.AssignCtx(ctx)
 		out := solver.Result{Stats: assignStats(res)}
 		out.Stats.StreamVersion = eng.Options().StreamVersion
+		stampAccel(&out.Stats, eng)
 		switch {
 		case err == nil:
 			out.Status = solver.StatusSat
@@ -244,11 +254,20 @@ func (s *mcSolver) solve(ctx context.Context, f *cnf.Formula, sp *obs.Span) (sol
 			StreamVersion: eng.Options().StreamVersion,
 		},
 	}
+	stampAccel(&out.Stats, eng)
 	if err != nil {
 		return out, err
 	}
 	out.Status = CheckStatus(r.Satisfiable, f.NumVars, f.NumClauses(), r.Samples)
 	return out, nil
+}
+
+// stampAccel records the kernel backends the engine's hot path runs
+// on: the block-evaluator row kernels, and the noise fill for the
+// engine's family under its stream contract.
+func stampAccel(st *solver.Stats, eng *Engine) {
+	st.EvalAccel = hyperspace.EvalAccelName()
+	st.FillAccel = noise.FillAccelKernel(eng.Options().Family, eng.Options().StreamVersion)
 }
 
 func assignStats(res AssignResult) solver.Stats {

@@ -156,3 +156,65 @@ func TestSeekRewindsStream(t *testing.T) {
 		}
 	}
 }
+
+// TestStepBlockAtOddGeometry pins the block path's bit-equality with
+// the scalar kernel on the shapes the vector kernels find hardest: odd
+// block lengths (which force the assembly's len&^3 prefix plus a
+// portable tail of every residue) and stream bases that are not
+// multiples of the vector width (so lanes straddle the counter
+// arbitrarily). The scalar Step path never touches the row primitives,
+// so under -tags nblavx2 this pins AVX2-vs-scalar exactly; untagged it
+// pins block-vs-scalar.
+func TestStepBlockAtOddGeometry(t *testing.T) {
+	g := rng.New(31)
+	f := gen.RandomKSAT(g, 5, 11, 3)
+	n, m := f.NumVars, f.NumClauses()
+	bases := []uint64{0, 1, 2, 3, 5, 1021, 1 << 40}
+	for _, fam := range allFamilies {
+		scalar := New(f, noise.NewBank(fam, 77, n, m))
+		block := New(f, noise.NewBank(fam, 77, n, m))
+		for _, k := range []int{1, 3, 7, 17, 255} {
+			out := make([]float64, k)
+			for _, base := range bases {
+				block.StepBlockAt(base, out)
+				scalar.Seek(base)
+				for s := 0; s < k; s++ {
+					if want := scalar.Step().S; out[s] != want {
+						t.Fatalf("family %v k=%d base=%d sample %d: StepBlockAt %v != Step %v",
+							fam, k, base, s, out[s], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStepBlockAtOddGeometryWithBindings repeats the odd-shape sweep
+// with partial bindings, covering the tau branch kernels (select
+// positive, select negative, sum) on unaligned tails.
+func TestStepBlockAtOddGeometryWithBindings(t *testing.T) {
+	g := rng.New(33)
+	f := gen.RandomKSAT(g, 5, 11, 3)
+	n, m := f.NumVars, f.NumClauses()
+	for _, fam := range allFamilies {
+		scalar := New(f, noise.NewBank(fam, 78, n, m))
+		block := New(f, noise.NewBank(fam, 78, n, m))
+		for _, e := range []*Evaluator{scalar, block} {
+			e.Bind(1, cnf.True)
+			e.Bind(3, cnf.False)
+		}
+		for _, k := range []int{3, 7, 17} {
+			out := make([]float64, k)
+			for _, base := range []uint64{1, 6, 255} {
+				block.StepBlockAt(base, out)
+				scalar.Seek(base)
+				for s := 0; s < k; s++ {
+					if want := scalar.Step().S; out[s] != want {
+						t.Fatalf("family %v k=%d base=%d sample %d: StepBlockAt %v != Step %v",
+							fam, k, base, s, out[s], want)
+					}
+				}
+			}
+		}
+	}
+}

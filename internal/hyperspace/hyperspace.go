@@ -230,29 +230,18 @@ func (e *Evaluator) StepBlockAt(base uint64, out []float64) {
 			copy(pn, b.neg[row:row+k])
 			continue
 		}
-		ps0, ns0 := b.pos[row:row+k], b.neg[row:row+k]
-		ps1, ns1 := b.pos[row+k:row+2*k], b.neg[row+k:row+2*k]
-		for s := 0; s < k; s++ {
-			pp[s] = ps0[s] * ps1[s]
-			pn[s] = ns0[s] * ns1[s]
-		}
+		vecMulTo(pp, b.pos[row:row+k], b.pos[row+k:row+2*k])
+		vecMulTo(pn, b.neg[row:row+k], b.neg[row+k:row+2*k])
 		j := 2
 		for ; j+1 < m; j += 2 {
 			o := row + j*k
-			ps0, ns0 = b.pos[o:o+k], b.neg[o:o+k]
-			ps1, ns1 = b.pos[o+k:o+2*k], b.neg[o+k:o+2*k]
-			for s := 0; s < k; s++ {
-				pp[s] = pp[s] * ps0[s] * ps1[s]
-				pn[s] = pn[s] * ns0[s] * ns1[s]
-			}
+			vecMulPair(pp, b.pos[o:o+k], b.pos[o+k:o+2*k])
+			vecMulPair(pn, b.neg[o:o+k], b.neg[o+k:o+2*k])
 		}
 		if j < m {
 			o := row + j*k
-			ps, ns := b.pos[o:o+k], b.neg[o:o+k]
-			for s := 0; s < k; s++ {
-				pp[s] *= ps[s]
-				pn[s] *= ns[s]
-			}
+			vecMul(pp, b.pos[o:o+k])
+			vecMul(pn, b.neg[o:o+k])
 		}
 	}
 
@@ -268,27 +257,19 @@ func (e *Evaluator) StepBlockAt(base uint64, out []float64) {
 				copy(tau, pp)
 				continue
 			}
-			for s := 0; s < k; s++ {
-				tau[s] *= pp[s]
-			}
+			vecMul(tau, pp)
 		case cnf.False:
 			if i == 0 {
 				copy(tau, pn)
 				continue
 			}
-			for s := 0; s < k; s++ {
-				tau[s] *= pn[s]
-			}
+			vecMul(tau, pn)
 		default:
 			if i == 0 {
-				for s := 0; s < k; s++ {
-					tau[s] = pp[s] + pn[s]
-				}
+				vecAddTo(tau, pp, pn)
 				continue
 			}
-			for s := 0; s < k; s++ {
-				tau[s] *= pp[s] + pn[s]
-			}
+			vecMulSum(tau, pp, pn)
 		}
 	}
 
@@ -308,25 +289,13 @@ func (e *Evaluator) StepBlockAt(base uint64, out []float64) {
 	for j := 0; j < m; j++ {
 		for v := 0; v < n; v++ {
 			o := (v*m + j) * k
-			ps, ns := b.pos[o:o+k], b.neg[o:o+k]
-			gv := b.g[v*gs : v*gs+k]
-			for s := 0; s < k; s++ {
-				gv[s] = ps[s] + ns[s]
-			}
+			vecAddTo(b.g[v*gs:v*gs+k], b.pos[o:o+k], b.neg[o:o+k])
 		}
 		for v := 2; v <= n-1; v++ {
-			prev, next := b.preR[v-1], b.preR[v]
-			gv := b.g[(v-1)*gs : (v-1)*gs+k]
-			for s := 0; s < k; s++ {
-				next[s] = prev[s] * gv[s]
-			}
+			vecMulTo(b.preR[v][:k], b.preR[v-1][:k], b.g[(v-1)*gs:(v-1)*gs+k])
 		}
 		for v := n - 2; v >= 1; v-- {
-			prev, next := b.sufR[v+1], b.sufR[v]
-			gv := b.g[v*gs : v*gs+k]
-			for s := 0; s < k; s++ {
-				next[s] = prev[s] * gv[s]
-			}
+			vecMulTo(b.sufR[v][:k], b.sufR[v+1][:k], b.g[v*gs:v*gs+k])
 		}
 		for s := 0; s < k; s++ {
 			z[s] = 0
@@ -340,39 +309,32 @@ func (e *Evaluator) StepBlockAt(base uint64, out []float64) {
 			}
 			switch {
 			case n == 1:
-				for s := 0; s < k; s++ {
-					z[s] += lits[s]
-				}
+				vecAdd(z, lits)
 			case v == 0:
-				sf := b.sufR[1]
-				for s := 0; s < k; s++ {
-					z[s] += lits[s] * sf[s]
-				}
+				vecAddMul(z, lits, b.sufR[1][:k])
 			case v == n-1:
-				pr := b.preR[n-1]
-				for s := 0; s < k; s++ {
-					z[s] += lits[s] * pr[s]
-				}
+				vecAddMul(z, lits, b.preR[n-1][:k])
 			default:
-				pr, sf := b.preR[v], b.sufR[v+1]
-				for s := 0; s < k; s++ {
-					z[s] += lits[s] * pr[s] * sf[s]
-				}
+				vecAddMul2(z, lits, b.preR[v][:k], b.sufR[v+1][:k])
 			}
 		}
 		if j == 0 {
 			copy(sigma, z)
 			continue
 		}
-		for s := 0; s < k; s++ {
-			sigma[s] *= z[s]
-		}
+		vecMul(sigma, z)
 	}
 
-	for s := 0; s < k; s++ {
-		out[s] = tau[s] * sigma[s]
-	}
+	vecMulTo(out, tau, sigma)
 }
+
+// EvalAccelName reports the StepBlockAt row-kernel backend active in
+// this build: "avx2" when the nblavx2 build tag is set on amd64 and the
+// CPU supports it (same gate as the rng fill kernels), "none" for the
+// portable loops. Solver stats and bench reports echo it so a recorded
+// result names the kernel that produced it — the two backends are
+// bit-identical, so the name is provenance, not a caveat.
+func EvalAccelName() string { return evalAccelName() }
 
 // ensureBlock sizes the block scratch for blocks of k samples.
 func (e *Evaluator) ensureBlock(k int) *blockScratch {
@@ -385,30 +347,36 @@ func (e *Evaluator) ensureBlock(k int) *blockScratch {
 	}
 	nm := e.n * e.m
 	n := e.n
-	b.k = k
-	b.pos = make([]float64, nm*k)
-	b.neg = make([]float64, nm*k)
-	b.prodPos = make([]float64, n*k)
-	b.prodNeg = make([]float64, n*k)
-	b.tau = make([]float64, k)
-	b.sigma = make([]float64, k)
-	b.z = make([]float64, k)
-	b.g = make([]float64, n*k)
+	// The allocated stride rounds up to the vector width (4 float64) so
+	// every g/pre/suf row the AVX2 kernels stream over is a whole number
+	// of vector rows and no row's tail shares a 32-byte group with the
+	// next row's head. Active blocks still index with their own k; only
+	// capacity is rounded.
+	kk := (k + 3) &^ 3
+	b.k = kk
+	b.pos = make([]float64, nm*kk)
+	b.neg = make([]float64, nm*kk)
+	b.prodPos = make([]float64, n*kk)
+	b.prodNeg = make([]float64, n*kk)
+	b.tau = make([]float64, kk)
+	b.sigma = make([]float64, kk)
+	b.z = make([]float64, kk)
+	b.g = make([]float64, n*kk)
 	// Interior prefix/suffix rows get their own storage; boundary rows
 	// alias g (pre[1] = g_0, suf[n-1] = g_{n-1}), so re-filling g per
 	// clause refreshes them for free.
-	b.pre = make([]float64, n*k)
-	b.suf = make([]float64, n*k)
+	b.pre = make([]float64, n*kk)
+	b.suf = make([]float64, n*kk)
 	b.preR = make([][]float64, n)
 	b.sufR = make([][]float64, n)
 	if n >= 2 {
-		b.preR[1] = b.g[0:k]
-		b.sufR[n-1] = b.g[(n-1)*k : n*k]
+		b.preR[1] = b.g[0:kk]
+		b.sufR[n-1] = b.g[(n-1)*kk : n*kk]
 		for v := 2; v <= n-1; v++ {
-			b.preR[v] = b.pre[v*k : v*k+k]
+			b.preR[v] = b.pre[v*kk : v*kk+kk]
 		}
 		for v := 1; v <= n-2; v++ {
-			b.sufR[v] = b.suf[v*k : v*k+k]
+			b.sufR[v] = b.suf[v*kk : v*kk+kk]
 		}
 	}
 	return b

@@ -95,7 +95,7 @@ func TestStepMatchesBruteExpansion(t *testing.T) {
 		nm := f.NumVars * f.NumClauses()
 		pos, neg := make([]float64, nm), make([]float64, nm)
 		for step := 0; step < 50; step++ {
-			twin.Fill(pos, neg)
+			twin.FillBlockAt(uint64(step), 1, pos, neg)
 			want := bruteSample(f, pos, neg, cnf.NewAssignment(f.NumVars))
 			got := e.Step()
 			if !sampleClose(got, want, 1e-9) {
@@ -120,7 +120,7 @@ func TestStepMatchesBruteWithBindings(t *testing.T) {
 		nm := f.NumVars * f.NumClauses()
 		pos, neg := make([]float64, nm), make([]float64, nm)
 		for step := 0; step < 30; step++ {
-			twin.Fill(pos, neg)
+			twin.FillBlockAt(uint64(step), 1, pos, neg)
 			want := bruteSample(f, pos, neg, bound)
 			got := e.Step()
 			if !sampleClose(got, want, 1e-9) {

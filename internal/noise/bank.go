@@ -27,11 +27,10 @@ const (
 // Bank bypasses the Source interface for throughput: FillBlockAt draws a
 // whole block from every source directly into caller-provided matrices,
 // which is the hot path of the Monte-Carlo engine (2·n·m draws per S_N
-// sample). Under stream contract v2 (the default) the bank is stateless
-// apart from the deprecated-shim cursor: any sample of any source is
-// addressable directly, so disjoint sample ranges may be filled in any
-// order — the property behind the sampler's worker-count-invariant
-// range claiming.
+// sample). Under stream contract v2 (the default) the bank is
+// stateless: any sample of any source is addressable directly, so
+// disjoint sample ranges may be filled in any order — the property
+// behind the sampler's worker-count-invariant range claiming.
 type Bank struct {
 	family  Family
 	n, m    int
@@ -43,9 +42,9 @@ type Bank struct {
 	// gens holds the v1 stateful generators (same index layout); nil
 	// under v2.
 	gens []rng.Xoshiro256
-	// cursor backs the deprecated sequential Fill/FillBlock shims. Under
-	// v1 it additionally names the only FillBlockAt base the stateful
-	// generators can serve.
+	// cursor names the only FillBlockAt base the v1 stateful generators
+	// can serve (their streams are inherently sequential); unused under
+	// v2.
 	cursor uint64
 	lo     float64 // uniform parameters, unused for other families
 	span   float64
@@ -90,7 +89,7 @@ func NewBankVersion(f Family, seed uint64, n, m, version int) *Bank {
 }
 
 // Reseed re-derives every source's stream from seed in place, without
-// reallocating the bank, and rewinds the shim cursor to sample 0. A
+// reallocating the bank, and rewinds the v1 cursor to sample 0. A
 // reseeded bank is indistinguishable from NewBankVersion(family, seed,
 // n, m, version); the Monte-Carlo engine uses this to reuse one bank
 // (and its evaluator scratch) across decision checks instead of
@@ -165,51 +164,45 @@ func (b *Bank) FillBlockAt(base uint64, k int, pos, neg []float64) {
 			}
 		}
 	case RTW:
+		// Bulk sign-map fill, one word per sample (AVX2 under -tags
+		// nblavx2); bit-identical to the per-sample rtwAt by contract.
 		for src := 0; src < nm; src++ {
-			bp, bn := b.bases[2*src], b.bases[2*src+1]
 			o := src * k
-			for s := 0; s < k; s++ {
-				i := base + uint64(s)
-				pos[o+s] = rtwAt(bp, i)
-				neg[o+s] = rtwAt(bn, i)
-			}
+			rng.FillRTWAt(b.bases[2*src], base, pos[o:o+k])
+			rng.FillRTWAt(b.bases[2*src+1], base, neg[o:o+k])
 		}
 	case Pulse:
+		// Bulk threshold-map fill, one word per sample (AVX2 under -tags
+		// nblavx2); bit-identical to the per-sample pulseAt by contract.
 		for src := 0; src < nm; src++ {
-			bp, bn := b.bases[2*src], b.bases[2*src+1]
 			o := src * k
-			for s := 0; s < k; s++ {
-				i := base + uint64(s)
-				pos[o+s] = pulseAt(bp, i)
-				neg[o+s] = pulseAt(bn, i)
-			}
+			rng.FillPulseAt(b.bases[2*src], base, pos[o:o+k], pulseDensity, pulseAmp)
+			rng.FillPulseAt(b.bases[2*src+1], base, neg[o:o+k], pulseDensity, pulseAmp)
 		}
 	default:
 		panic("noise: unknown family")
 	}
 }
 
-// FillBlock draws the next k samples of every source at the bank's
-// internal cursor (layout as FillBlockAt).
-//
-// Deprecated: FillBlock is the transitional shim for the pre-seek
-// sequential API; new callers should track their own base and use
-// FillBlockAt directly.
-func (b *Bank) FillBlock(k int, pos, neg []float64) {
-	at := b.cursor
-	b.FillBlockAt(at, k, pos, neg)
-	b.cursor = at + uint64(k)
+// FillAccelKernel reports the accelerated fill kernel FillBlockAt
+// dispatches to for a bank of the given family and stream version:
+// rng.FillAccelName() for the exactly-vectorizable families under the
+// counter contract (uniform, RTW, pulse), "none" otherwise — Gaussian's
+// log/cos Box–Muller and all v1 stateful streams are scalar.
+func FillAccelKernel(f Family, version int) string {
+	if version != StreamV2 {
+		return "none"
+	}
+	switch f {
+	case UniformHalf, UniformUnit, RTW, Pulse:
+		return rng.FillAccelName()
+	}
+	return "none"
 }
 
-// Fill draws one sample from every source at the bank's internal
-// cursor. pos and neg must each have length n*m; entry [i*m+j] receives
-// the sample of the positive (respectively negative) literal source of
-// variable i+1 in clause j.
-//
-// Deprecated: Fill is FillBlock(1, pos, neg); new callers should use
-// FillBlockAt.
-func (b *Bank) Fill(pos, neg []float64) {
-	b.FillBlock(1, pos, neg)
+// FillAccelName is FillAccelKernel for this bank's family and version.
+func (b *Bank) FillAccelName() string {
+	return FillAccelKernel(b.family, b.version)
 }
 
 // fillBlockV1 draws the next k samples from the v1 stateful generators,

@@ -130,14 +130,22 @@ func TestSinusoidNextMatchesAt(t *testing.T) {
 	}
 }
 
+// fillAt draws the single sample at index i from every bank source: for
+// k = 1 the block layout [(i*m+j)*1] coincides with the scalar matrix
+// layout [i*m+j], so tests that read a bank sample by sample address the
+// stream directly instead of going through the removed sequential shim.
+func fillAt(b *Bank, i uint64, pos, neg []float64) {
+	b.FillBlockAt(i, 1, pos, neg)
+}
+
 func TestBankDeterminism(t *testing.T) {
 	a := NewBank(UniformHalf, 77, 3, 4)
 	b := NewBank(UniformHalf, 77, 3, 4)
 	pa, na := make([]float64, 12), make([]float64, 12)
 	pb, nb := make([]float64, 12), make([]float64, 12)
 	for round := 0; round < 10; round++ {
-		a.Fill(pa, na)
-		b.Fill(pb, nb)
+		fillAt(a, uint64(round), pa, na)
+		fillAt(b, uint64(round), pb, nb)
 		for i := range pa {
 			if pa[i] != pb[i] || na[i] != nb[i] {
 				t.Fatalf("banks with same seed diverged at round %d index %d", round, i)
@@ -151,8 +159,8 @@ func TestBankSeedsDiffer(t *testing.T) {
 	b := NewBank(UniformHalf, 2, 2, 2)
 	pa, na := make([]float64, 4), make([]float64, 4)
 	pb, nb := make([]float64, 4), make([]float64, 4)
-	a.Fill(pa, na)
-	b.Fill(pb, nb)
+	fillAt(a, 0, pa, na)
+	fillAt(b, 0, pb, nb)
 	same := 0
 	for i := range pa {
 		if pa[i] == pb[i] {
@@ -172,7 +180,7 @@ func TestBankSourcesAreIndependent(t *testing.T) {
 	neg := make([]float64, 6)
 	var crossPN, crossVars float64
 	for i := 0; i < samples; i++ {
-		b.Fill(pos, neg)
+		fillAt(b, uint64(i), pos, neg)
 		crossPN += pos[0] * neg[0]   // same var/clause, opposite polarity
 		crossVars += pos[0] * pos[4] // different variables
 	}
@@ -188,7 +196,7 @@ func TestBankAllFamiliesFill(t *testing.T) {
 	for _, f := range []Family{UniformHalf, UniformUnit, Gaussian, RTW, Pulse} {
 		b := NewBank(f, 3, 2, 2)
 		pos, neg := make([]float64, 4), make([]float64, 4)
-		b.Fill(pos, neg)
+		fillAt(b, 0, pos, neg)
 		for i := range pos {
 			if math.IsNaN(pos[i]) || math.IsNaN(neg[i]) {
 				t.Errorf("%v: NaN sample", f)
@@ -207,10 +215,10 @@ func TestBankFillLengthPanics(t *testing.T) {
 	b := NewBank(UniformHalf, 1, 2, 2)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Fill with wrong buffer length must panic")
+			t.Fatal("FillBlockAt with wrong buffer length must panic")
 		}
 	}()
-	b.Fill(make([]float64, 3), make([]float64, 4))
+	b.FillBlockAt(0, 1, make([]float64, 3), make([]float64, 4))
 }
 
 func TestBankDimsPanics(t *testing.T) {
@@ -238,7 +246,7 @@ func BenchmarkBankFillUniform(b *testing.B) {
 	pos, neg := make([]float64, 1000), make([]float64, 1000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bank.Fill(pos, neg)
+		bank.FillBlockAt(uint64(i), 1, pos, neg)
 	}
 }
 
@@ -273,7 +281,7 @@ func TestPulseBankMatchesSource(t *testing.T) {
 	src1 := NewSource(Pulse, 9, 1)
 	pos, neg := make([]float64, 1), make([]float64, 1)
 	for i := 0; i < 200; i++ {
-		b.Fill(pos, neg)
+		fillAt(b, uint64(i), pos, neg)
 		if pos[0] != src0.Next() || neg[0] != src1.Next() {
 			t.Fatalf("bank/source divergence at step %d", i)
 		}
@@ -321,18 +329,18 @@ func TestFillBlockAtV1RequiresCursor(t *testing.T) {
 }
 
 func TestBankV1BlockMatchesScalar(t *testing.T) {
-	// The v1 migration oracle keeps its original pin: FillBlock(k) and k
-	// successive Fill calls consume identical streams.
+	// The v1 migration oracle keeps its original pin: one k-sample block
+	// and k successive single-sample fills consume identical streams.
 	for _, f := range []Family{UniformHalf, Gaussian, RTW, Pulse} {
 		blk := NewBankVersion(f, 5, 2, 2, StreamV1)
 		seq := NewBankVersion(f, 5, 2, 2, StreamV1)
 		const k = 16
 		nm := 4
 		bp, bn := make([]float64, nm*k), make([]float64, nm*k)
-		blk.FillBlock(k, bp, bn)
+		blk.FillBlockAt(0, k, bp, bn)
 		sp, sn := make([]float64, nm), make([]float64, nm)
 		for s := 0; s < k; s++ {
-			seq.Fill(sp, sn)
+			fillAt(seq, uint64(s), sp, sn)
 			for src := 0; src < nm; src++ {
 				if bp[src*k+s] != sp[src] || bn[src*k+s] != sn[src] {
 					t.Fatalf("%v: v1 block/scalar divergence at sample %d src %d", f, s, src)
@@ -352,7 +360,7 @@ func TestSourceAtReplaysBank(t *testing.T) {
 			srcNeg := b.SourceAt(seed, 2, 1, true)
 			pos, neg := make([]float64, 4), make([]float64, 4)
 			for i := 0; i < 50; i++ {
-				b.Fill(pos, neg)
+				fillAt(b, uint64(i), pos, neg)
 				if got, want := srcPos.Next(), pos[2]; got != want {
 					t.Fatalf("v%d %v: SourceAt(+) sample %d = %v, bank %v", version, f, i, got, want)
 				}
@@ -365,14 +373,17 @@ func TestSourceAtReplaysBank(t *testing.T) {
 }
 
 func TestReseedRewindsCursor(t *testing.T) {
-	b := NewBank(UniformUnit, 3, 2, 2)
+	// v1 streams are sequential: after two fills the bank only serves
+	// base 2, so a successful re-fill at base 0 after Reseed proves the
+	// cursor (and the generator states) rewound.
+	b := NewBankVersion(UniformUnit, 3, 2, 2, StreamV1)
 	pos, neg := make([]float64, 4), make([]float64, 4)
-	b.Fill(pos, neg)
+	fillAt(b, 0, pos, neg)
 	first := pos[0]
-	b.Fill(pos, neg)
+	fillAt(b, 1, pos, neg)
 	b.Reseed(3)
-	b.Fill(pos, neg)
+	fillAt(b, 0, pos, neg)
 	if pos[0] != first {
-		t.Error("Reseed(same seed) must rewind the shim cursor to sample 0")
+		t.Error("Reseed(same seed) must rewind the v1 cursor to sample 0")
 	}
 }

@@ -75,10 +75,89 @@ func fillUniformGo(base, start uint64, dst []float64, lo, span float64) {
 	}
 }
 
-// FillAccelName reports which accelerated fill kernel FillUniformAt
-// dispatches to: "avx2" when the nblavx2 build tag is on and the CPU
-// supports it, "none" otherwise. Bench archives record it so numbers
-// are attributable to the kernel that produced them.
+// FillRTWAt writes dst[s] = ±1 by the parity of Word(base, start+s) for
+// s in [0, len(dst)) — the bulk form of the v2 random-telegraph-wave
+// sample (noise.RTW). The same seekability contract as FillUniformAt
+// applies: values depend only on (base, index), so any split between
+// the accelerated and portable paths is bit-identical. It is in fact
+// exact in a stronger sense than the uniform fill: ±1 is a pure
+// sign-bit map of an integer parity, so no floating-point rounding
+// occurs at all.
+func FillRTWAt(base, start uint64, dst []float64) {
+	done := fillRTWAccel(base, start, dst)
+	if done < len(dst) {
+		fillRTWGo(base, start+uint64(done), dst[done:])
+	}
+}
+
+// fillRTWGo is the portable RTW fill and the conformance oracle for the
+// assembly kernel: the parity bit of the mixed word selects ±1.
+func fillRTWGo(base, start uint64, dst []float64) {
+	state := base + (start+1)*golden
+	for s := range dst {
+		z := state
+		state += golden
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if z&1 == 1 {
+			dst[s] = 1
+		} else {
+			dst[s] = -1
+		}
+	}
+}
+
+// FillPulseAt writes the v2 pulse-train samples for indices
+// start..start+len(dst)-1 of the stream with the given base: sample s is
+// 0 when the word's top-53-bit uniform is >= density, otherwise ±amp by
+// the word's parity bit (noise.Pulse semantics, parameterized so rng
+// stays family-agnostic). Same seekability and bit-identity contract as
+// FillUniformAt; the comparison and the sign selection are exact, and
+// the only floating-point operation is the exact u64→f64 of the
+// 53-bit word — so the accelerated path has no rounding to match, only
+// semantics.
+func FillPulseAt(base, start uint64, dst []float64, density, amp float64) {
+	done := fillPulseAccel(base, start, dst, density, amp)
+	if done < len(dst) {
+		fillPulseGo(base, start+uint64(done), dst[done:], density, amp)
+	}
+}
+
+// fillPulseGo is the portable pulse fill and the conformance oracle for
+// the assembly kernel.
+func fillPulseGo(base, start uint64, dst []float64, density, amp float64) {
+	state := base + (start+1)*golden
+	for s := range dst {
+		z := state
+		state += golden
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		switch {
+		case float64(z>>11)*0x1p-53 >= density:
+			dst[s] = 0
+		case z&1 == 1:
+			dst[s] = amp
+		default:
+			dst[s] = -amp
+		}
+	}
+}
+
+// FillAccelName reports which accelerated fill kernel the bulk fills
+// (FillUniformAt, FillRTWAt, FillPulseAt) dispatch to: "avx2" when the
+// nblavx2 build tag is on and the CPU supports it, "none" otherwise.
+// Bench archives record it so numbers are attributable to the kernel
+// that produced them.
 func FillAccelName() string {
 	return fillAccelName()
+}
+
+// HasAVX2 reports whether the AVX2 kernels are compiled in (build tag
+// nblavx2, amd64) and the CPU/OS support executing them. Other packages
+// with their own nblavx2 assembly (the hyperspace evaluator) share this
+// one CPUID+XGETBV gate instead of duplicating it.
+func HasAVX2() bool {
+	return hasAVX2()
 }

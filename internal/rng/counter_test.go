@@ -168,3 +168,123 @@ func BenchmarkFillUniformPairV1(b *testing.B) {
 		FillUniformPair(g, h, a, c, -1, 2)
 	}
 }
+
+// FillRTWAt must be bit-identical to the per-index scalar formula
+// sign(Word & 1): +1 for odd words, -1 for even. The AVX2 kernel builds
+// the sign by XORing the parity bit into -1.0's sign bit, so a lane
+// mismatch here means the bit trick — not just rounding — is wrong.
+func TestFillRTWAtMatchesScalar(t *testing.T) {
+	g := New(0xcafef00d)
+	for trial := 0; trial < 200; trial++ {
+		n := g.Intn(97) + 1
+		base := g.Uint64()
+		start := g.Uint64() >> uint(g.Intn(64))
+		dst := make([]float64, n)
+		FillRTWAt(base, start, dst)
+		for s := range dst {
+			want := -1.0
+			if Word(base, start+uint64(s))&1 == 1 {
+				want = 1.0
+			}
+			if dst[s] != want {
+				t.Fatalf("trial %d (n=%d start=%d): dst[%d] = %v, want %v",
+					trial, n, start, s, dst[s], want)
+			}
+		}
+	}
+}
+
+// FillPulseAt must be bit-identical to the per-index scalar formula:
+// zero when Uniform01 >= density, else ±amp by the word's parity bit.
+// The ordering of the two draws from one word (u from the high 53 bits,
+// sign from bit 0) is part of the stream contract — both the Go loop
+// and the AVX2 compare+blend kernel read the same word once.
+func TestFillPulseAtMatchesScalar(t *testing.T) {
+	g := New(0xbeefcafe)
+	for trial := 0; trial < 200; trial++ {
+		n := g.Intn(97) + 1
+		base := g.Uint64()
+		start := g.Uint64() >> uint(g.Intn(64))
+		density := g.Uniform(0, 1)
+		amp := g.Uniform(0.5, 3)
+		dst := make([]float64, n)
+		FillPulseAt(base, start, dst, density, amp)
+		for s := range dst {
+			w := Word(base, start+uint64(s))
+			var want float64
+			switch {
+			case float64(w>>11)*0x1p-53 >= density:
+				want = 0
+			case w&1 == 1:
+				want = amp
+			default:
+				want = -amp
+			}
+			if dst[s] != want {
+				t.Fatalf("trial %d (n=%d start=%d density=%v amp=%v): dst[%d] = %v, want %v",
+					trial, n, start, density, amp, s, dst[s], want)
+			}
+		}
+	}
+}
+
+// Golden vectors for the RTW and pulse fills, pinned for the same reason
+// as TestGoldenV2StreamWords: these are derived streams the verdict
+// store replays across versions, so drift must be deliberate.
+func TestGoldenRTWPulseFills(t *testing.T) {
+	base := StreamBase(0x2a, 3)
+	rtw := make([]float64, 8)
+	FillRTWAt(base, 5, rtw)
+	wantRTW := []float64{-1, 1, -1, -1, -1, 1, 1, 1}
+	for i := range rtw {
+		if rtw[i] != wantRTW[i] {
+			t.Errorf("RTW golden [%d] = %v, want %v", i, rtw[i], wantRTW[i])
+		}
+	}
+	pulse := make([]float64, 8)
+	FillPulseAt(base, 5, pulse, 0.25, 2)
+	wantPulse := []float64{-2, 0, 0, 0, 0, 0, 0, 2}
+	for i := range pulse {
+		if pulse[i] != wantPulse[i] {
+			t.Errorf("pulse golden [%d] = %v, want %v", i, pulse[i], wantPulse[i])
+		}
+	}
+}
+
+// Pulse outputs at density boundaries: density 0 must be identically
+// zero (u >= 0 always), density 1 never zero except the measure-zero
+// u == 1 case, which the 53-bit grid cannot produce.
+func TestFillPulseAtDensityEdges(t *testing.T) {
+	base := StreamBase(7, 7)
+	dst := make([]float64, 256)
+	FillPulseAt(base, 0, dst, 0, 1.5)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("density 0: dst[%d] = %v, want 0", i, v)
+		}
+	}
+	FillPulseAt(base, 0, dst, 1, 1.5)
+	for i, v := range dst {
+		if v != 1.5 && v != -1.5 {
+			t.Fatalf("density 1: dst[%d] = %v, want ±1.5", i, v)
+		}
+	}
+}
+
+func BenchmarkFillRTWAt(b *testing.B) {
+	dst := make([]float64, 4096)
+	base := StreamBase(1, 2)
+	b.SetBytes(int64(len(dst) * 8))
+	for i := 0; i < b.N; i++ {
+		FillRTWAt(base, uint64(i)*uint64(len(dst)), dst)
+	}
+}
+
+func BenchmarkFillPulseAt(b *testing.B) {
+	dst := make([]float64, 4096)
+	base := StreamBase(1, 3)
+	b.SetBytes(int64(len(dst) * 8))
+	for i := 0; i < b.N; i++ {
+		FillPulseAt(base, uint64(i)*uint64(len(dst)), dst, 0.25, 2)
+	}
+}

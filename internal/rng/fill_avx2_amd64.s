@@ -127,6 +127,145 @@ loop:
 	VZEROUPPER
 	RET
 
+// MIX64 runs the SplitMix64 finalizer on the four lanes of z, using t1
+// and t2 as scratch. It assumes Y4/Y5 and Y6/Y7 hold the two multiply
+// constants and their high words (the same layout every fill kernel
+// broadcasts in its prologue) — the identical instruction sequence the
+// uniform kernel spells out above.
+#define MIX64(z, t1, t2) \
+	VPSRLQ $30, z, t1      \
+	VPXOR t1, z, z         \
+	VPSRLQ $32, z, t1      \
+	VPMULUDQ Y4, t1, t1    \
+	VPMULUDQ Y5, z, t2     \
+	VPADDQ t2, t1, t1      \
+	VPSLLQ $32, t1, t1     \
+	VPMULUDQ Y4, z, z      \
+	VPADDQ t1, z, z        \
+	VPSRLQ $27, z, t1      \
+	VPXOR t1, z, z         \
+	VPSRLQ $32, z, t1      \
+	VPMULUDQ Y6, t1, t1    \
+	VPMULUDQ Y7, z, t2     \
+	VPADDQ t2, t1, t1      \
+	VPSLLQ $32, t1, t1     \
+	VPMULUDQ Y6, z, z      \
+	VPADDQ t1, z, z        \
+	VPSRLQ $31, z, t1      \
+	VPXOR t1, z, z
+
+// Bit pattern of -1.0: the RTW fill's base value, sign-flipped to +1.0
+// by the word's parity bit.
+DATA negone<>+0(SB)/8, $0xbff0000000000000
+GLOBL negone<>(SB), RODATA, $8
+
+// The IEEE-754 sign bit, used to negate amp without an FP operation.
+DATA signbit<>+0(SB)/8, $0x8000000000000000
+GLOBL signbit<>(SB), RODATA, $8
+
+// func fillRTWAVX2(state uint64, dst *float64, n int)
+//
+// dst[s] = -1.0 XOR (parity(mix64(state+s·golden)) << 63): parity 1
+// flips the sign to +1.0. Integer ops and one XOR — no rounding exists
+// for the Go oracle to disagree with.
+TEXT ·fillRTWAVX2(SB), NOSPLIT, $0-24
+	MOVQ state+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+	VPBROADCASTQ mulc1<>(SB), Y4
+	VPBROADCASTQ mulc1hi<>(SB), Y5
+	VPBROADCASTQ mulc2<>(SB), Y6
+	VPBROADCASTQ mulc2hi<>(SB), Y7
+	VPBROADCASTQ stride4<>(SB), Y8
+	VPBROADCASTQ negone<>(SB), Y9
+
+	// states = broadcast(state) + [0, g, 2g, 3g]
+	MOVQ AX, X0
+	VPBROADCASTQ X0, Y0
+	VPADDQ laneoff<>(SB), Y0, Y0
+
+rtwloop:
+	VMOVDQA Y0, Y1
+	MIX64(Y1, Y2, Y3)
+
+	// parity bit -> sign position, XOR onto -1.0
+	VPSLLQ $63, Y1, Y1
+	VPXOR Y9, Y1, Y1
+	VMOVUPD Y1, (DI)
+
+	ADDQ $32, DI
+	VPADDQ Y8, Y0, Y0
+	SUBQ $4, CX
+	JNE rtwloop
+
+	VZEROUPPER
+	RET
+
+// func fillPulseAVX2(state uint64, dst *float64, n int, density, amp float64)
+//
+// Per word w = mix64(state+s·golden):
+//
+//	u    = float64(w>>11) · 2^-53        (exact: 53 bits, power-of-two scale)
+//	v    = (-amp) XOR (parity(w) << 63)  (±amp by the sign-bit trick)
+//	dst  = (u >= density) ? +0.0 : v     (VCMPPD mask, VANDNPD blend)
+//
+// Every step is exact, so the output is bit-identical to fillPulseGo.
+TEXT ·fillPulseAVX2(SB), NOSPLIT, $0-40
+	MOVQ state+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+	VPBROADCASTQ mulc1<>(SB), Y4
+	VPBROADCASTQ mulc1hi<>(SB), Y5
+	VPBROADCASTQ mulc2<>(SB), Y6
+	VPBROADCASTQ mulc2hi<>(SB), Y7
+	VPBROADCASTQ stride4<>(SB), Y8
+	VPBROADCASTQ magic52<>(SB), Y9
+	VPBROADCASTQ magic84<>(SB), Y10
+	VPBROADCASTQ magicsub<>(SB), Y11
+	VPBROADCASTQ scale53<>(SB), Y12
+	VBROADCASTSD density+24(FP), Y13
+	VBROADCASTSD amp+32(FP), Y14
+	VPBROADCASTQ signbit<>(SB), Y15
+	VXORPD Y15, Y14, Y14 // Y14 = -amp
+
+	// states = broadcast(state) + [0, g, 2g, 3g]
+	MOVQ AX, X0
+	VPBROADCASTQ X0, Y0
+	VPADDQ laneoff<>(SB), Y0, Y0
+
+pulseloop:
+	VMOVDQA Y0, Y1
+	MIX64(Y1, Y2, Y3)
+
+	// v = (-amp) XOR (parity << 63): parity 1 selects +amp
+	VPSLLQ $63, Y1, Y2
+	VXORPD Y14, Y2, Y2
+
+	// u = float64(w >> 11) · 2^-53, same exact conversion as the
+	// uniform kernel
+	VPSRLQ $11, Y1, Y1
+	VPBLENDD $0xaa, Y9, Y1, Y3
+	VPSRLQ $32, Y1, Y1
+	VPOR Y10, Y1, Y1
+	VSUBPD Y11, Y1, Y1
+	VADDPD Y3, Y1, Y1
+	VMULPD Y12, Y1, Y1
+
+	// dst = (u >= density) ? +0.0 : v
+	VCMPPD $0x0d, Y13, Y1, Y1
+	VANDNPD Y2, Y1, Y1
+	VMOVUPD Y1, (DI)
+
+	ADDQ $32, DI
+	VPADDQ Y8, Y0, Y0
+	SUBQ $4, CX
+	JNE pulseloop
+
+	VZEROUPPER
+	RET
+
 // func cpuHasAVX2() bool
 TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
 	// CPUID must reach leaf 7.

@@ -146,7 +146,8 @@ func (g *Xoshiro256) Uniform(lo, hi float64) float64 {
 // return; the point of the bulk form is throughput: both xoshiro states
 // live in explicit locals for the whole loop (no per-draw state
 // load/store) and the two independent dependency chains pipeline
-// against each other. This is the inner loop of noise.Bank.FillBlock.
+// against each other. This is the inner loop of the noise bank's v1
+// (stateful-cursor) fill path.
 func FillUniformPair(g, h *Xoshiro256, a, b []float64, lo, span float64) {
 	if len(b) != len(a) {
 		panic("rng: FillUniformPair buffers must have equal length")

@@ -61,6 +61,10 @@ func (s *rtwSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 	if sp != nil {
 		sp.SetAttr("n", strconv.Itoa(f.NumVars))
 		sp.SetAttr("m", strconv.Itoa(f.NumClauses()))
+		// The telegraph engine runs its own integer-parity kernel: neither
+		// the float fill kernels nor the block evaluator are on its path.
+		sp.SetAttr("eval_accel", "none")
+		sp.SetAttr("fill_accel", "none")
 	}
 	out, err := s.solve(ctx, f)
 	if sp != nil {
@@ -107,6 +111,8 @@ func (s *rtwSolver) solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 		Stats: solver.Stats{
 			Samples: r.Samples, Mean: r.Mean, StdErr: r.StdErr,
 			StreamVersion: s.eng.StreamVersion(),
+			// The integer-parity kernel bypasses both accelerated paths.
+			FillAccel: "none", EvalAccel: "none",
 		},
 	}
 	if err != nil {

@@ -7,9 +7,10 @@ import (
 )
 
 // TestCarrierBankBlockBitIdentical checks the deterministic carrier
-// bank against the hyperspace block contract: FillBlock must equal k
-// successive Fill calls sample for sample, so the batched observation
-// loop reads exactly the DC component the scalar loop would.
+// bank against the hyperspace block contract: a k-sample block must
+// equal k successive scalar steps sample for sample, so the batched
+// observation loop reads exactly the DC component the scalar loop
+// would.
 func TestCarrierBankBlockBitIdentical(t *testing.T) {
 	f := gen.PaperExample6()
 	scalar, err := New(f, Options{})

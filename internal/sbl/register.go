@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/cnf"
+	"repro/internal/hyperspace"
 	"repro/internal/obs"
 	"repro/internal/solver"
 )
@@ -72,6 +73,10 @@ func (s *sblSolver) Solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 	if sp != nil {
 		sp.SetAttr("n", strconv.Itoa(f.NumVars))
 		sp.SetAttr("m", strconv.Itoa(f.NumClauses()))
+		// SBL batches its observation loop through the block evaluator, so
+		// the eval kernels apply; the sinusoid carrier fill is scalar.
+		sp.SetAttr("eval_accel", hyperspace.EvalAccelName())
+		sp.SetAttr("fill_accel", "none")
 	}
 	out, err := s.solve(ctx, f)
 	if sp != nil {
@@ -121,7 +126,12 @@ func (s *sblSolver) solve(ctx context.Context, f *cnf.Formula) (solver.Result, e
 	}
 	r, err := s.eng.CheckCtx(ctx)
 	out := solver.Result{
-		Stats: solver.Stats{Samples: r.Samples, Mean: r.Mean},
+		Stats: solver.Stats{
+			Samples: r.Samples, Mean: r.Mean,
+			// The observation loop runs the block evaluator's row kernels;
+			// the carrier fill is the scalar cosine table walk.
+			FillAccel: "none", EvalAccel: hyperspace.EvalAccelName(),
+		},
 	}
 	if err != nil {
 		return out, err

@@ -160,6 +160,15 @@ type Stats struct {
 	NMBefore   int64 `json:"nm_before,omitempty"`
 	NMAfter    int64 `json:"nm_after,omitempty"`
 	Components int64 `json:"components,omitempty"`
+	// FillAccel and EvalAccel name the accelerated kernels active in the
+	// build that produced this result ("avx2" or "none"): FillAccel the
+	// noise-fill backend for the engine's family/stream combination,
+	// EvalAccel the S_N block-evaluator row kernels. Both backends are
+	// bit-identical to the portable paths, so these are provenance
+	// fields, not result qualifiers. Empty for engines without a sampled
+	// hot path, which keeps their records byte-identical.
+	FillAccel string `json:"fill_accel,omitempty"`
+	EvalAccel string `json:"eval_accel,omitempty"`
 }
 
 // Add accumulates other into s field-wise (used by the portfolio to
@@ -170,7 +179,9 @@ type Stats struct {
 // not an accumulable effort, and stay with whoever set them.
 // StreamVersion is an identity, not a counter: s keeps its own when
 // set, and otherwise adopts other's, so a meta-engine merging sampling
-// components still echoes the contract they drew from.
+// components still echoes the contract they drew from; FillAccel and
+// EvalAccel follow the same rule (all components run in one build, so
+// any component's kernel name is the merge's).
 func (s *Stats) Add(other Stats) {
 	s.Samples += other.Samples
 	s.Decisions += other.Decisions
@@ -181,6 +192,12 @@ func (s *Stats) Add(other Stats) {
 	s.Probes += other.Probes
 	if s.StreamVersion == 0 {
 		s.StreamVersion = other.StreamVersion
+	}
+	if s.FillAccel == "" {
+		s.FillAccel = other.FillAccel
+	}
+	if s.EvalAccel == "" {
+		s.EvalAccel = other.EvalAccel
 	}
 }
 
